@@ -1,0 +1,1 @@
+bench/ablation.ml: Apor_overlay Apor_quorum Apor_topology Apor_util Array Cluster Config Failover Float Grid Hashtbl List Metrics Node Option Printf Rng Router Stats Texttable

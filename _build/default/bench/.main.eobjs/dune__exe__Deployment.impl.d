@@ -1,0 +1,1 @@
+bench/deployment.ml: Apor_analysis Apor_overlay Apor_topology Apor_util Array Bandwidth Cluster Config Failures Float Internet List Metrics Printf Report Stats Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Deployment Experiments Filename Fun List Micro Printf String Sys Unix

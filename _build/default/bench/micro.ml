@@ -1,0 +1,124 @@
+(* Bechamel microbenchmarks of the computational kernels: grid
+   construction, the best-hop scan, a full rendezvous round-two batch, the
+   wire codecs and the one-shot synchronous protocol. *)
+
+open Bechamel
+open Toolkit
+open Apor_util
+open Apor_quorum
+open Apor_linkstate
+open Apor_core
+
+let section title =
+  Printf.printf "\n==================== %s ====================\n" title
+
+let matrix ~n ~seed =
+  let rng = Rng.make ~seed in
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let c = 1. +. Rng.float rng 500. in
+      m.(i).(j) <- c;
+      m.(j).(i) <- c
+    done
+  done;
+  Costmat.of_arrays m
+
+let grid_tests =
+  List.map
+    (fun n ->
+      Test.make
+        ~name:(Printf.sprintf "grid-build/%d" n)
+        (Staged.stage (fun () -> ignore (Grid.build n))))
+    [ 64; 256; 1024 ]
+
+let best_hop_tests =
+  List.map
+    (fun n ->
+      let m = matrix ~n ~seed:1 in
+      let from_src = Costmat.row m 0 in
+      let to_dst = Costmat.column m (n - 1) in
+      Test.make
+        ~name:(Printf.sprintf "best-hop/%d" n)
+        (Staged.stage (fun () ->
+             ignore (Best_hop.best ~src:0 ~dst:(n - 1) ~cost_from_src:from_src ~cost_to_dst:to_dst))))
+    [ 64; 256; 1024 ]
+
+let round2_tests =
+  List.map
+    (fun n ->
+      let m = matrix ~n ~seed:2 in
+      let snapshot i =
+        Snapshot.create ~owner:i
+          (Array.init n (fun j ->
+               let c = Costmat.get m i j in
+               if i = j then Entry.self
+               else if Float.is_finite c then Entry.make ~latency_ms:c ~loss:0. ~alive:true
+               else Entry.unreachable))
+      in
+      let grid = Grid.build n in
+      let clients = List.map snapshot (Grid.rendezvous_clients grid 0) in
+      match clients with
+      | [] -> Test.make ~name:"round2/empty" (Staged.stage ignore)
+      | client :: others ->
+          Test.make
+            ~name:(Printf.sprintf "round2-batch/%d" n)
+            (Staged.stage (fun () ->
+                 ignore (Rendezvous.recommendations_for ~metric:Metric.Latency ~client ~others))))
+    [ 64; 256 ]
+
+let codec_tests =
+  let entries =
+    Array.init 256 (fun i ->
+        if i mod 7 = 0 then Entry.unreachable
+        else Entry.make ~latency_ms:(float_of_int (i * 3)) ~loss:0.01 ~alive:true)
+  in
+  let encoded = Wire.encode_entries entries in
+  [
+    Test.make ~name:"wire-encode/256" (Staged.stage (fun () -> ignore (Wire.encode_entries entries)));
+    Test.make ~name:"wire-decode/256"
+      (Staged.stage (fun () -> ignore (Wire.decode_entries encoded)));
+  ]
+
+let protocol_tests =
+  List.map
+    (fun n ->
+      let m = matrix ~n ~seed:3 in
+      let grid = Grid.build n in
+      Test.make
+        ~name:(Printf.sprintf "protocol-run/%d" n)
+        (Staged.stage (fun () -> ignore (Protocol.run ~grid m))))
+    [ 64; 144 ]
+
+let run () =
+  section "Microbenchmarks (Bechamel, monotonic clock)";
+  let tests =
+    Test.make_grouped ~name:"apor"
+      (grid_tests @ best_hop_tests @ round2_tests @ codec_tests @ protocol_tests)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  let table = Texttable.create ~header:[ "benchmark"; "time/run"; "r^2" ] in
+  let human ns =
+    if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, estimate, r2) ->
+      Texttable.add_row table [ name; human estimate; Printf.sprintf "%.3f" r2 ])
+    (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows);
+  Texttable.print table

@@ -1,0 +1,209 @@
+(* apor — all-pairs overlay routing toolbox.
+
+   Subcommands:
+     grid     inspect the grid quorum construction for a given overlay size
+     theory   print the closed-form bandwidth model and capacity table
+     emulate  run an overlay emulation and report bandwidth and freshness
+     detour   generate a synthetic internet and report one-hop detour gains *)
+
+open Cmdliner
+open Apor_util
+open Apor_quorum
+open Apor_core
+open Apor_overlay
+open Apor_topology
+
+(* --- grid ------------------------------------------------------------------ *)
+
+let run_grid n node =
+  let grid = Grid.build n in
+  Format.printf "Grid quorum for n = %d (%d rows x %d cols, last row %d):@.%a@."
+    n (Grid.rows grid) (Grid.cols grid) (Grid.last_row_length grid) Grid.pp grid;
+  (match node with
+  | Some id when id >= 0 && id < n ->
+      let row, col = Grid.position grid id in
+      Format.printf "@.Node %d sits at (row %d, col %d).@." id row col;
+      Format.printf "Rendezvous servers/clients: %s@."
+        (String.concat ", " (List.map string_of_int (Grid.rendezvous_servers grid id)))
+  | Some id -> Format.printf "@.Node %d is outside [0, %d).@." id n
+  | None -> ());
+  match Grid.verify grid with
+  | Ok () -> Format.printf "@.Invariants: cover, symmetry and balance all hold.@."
+  | Error msg -> Format.printf "@.INVARIANT VIOLATION: %s@." msg
+
+let grid_cmd =
+  let n =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Overlay size.")
+  in
+  let node =
+    Arg.(value & opt (some int) None & info [ "node" ] ~docv:"ID" ~doc:"Show one node's rendezvous sets.")
+  in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Inspect the grid quorum construction")
+    Term.(const run_grid $ n $ node)
+
+(* --- theory ----------------------------------------------------------------- *)
+
+let run_theory sizes budget =
+  let module B = Apor_analysis.Bandwidth in
+  let table =
+    Texttable.create
+      ~header:
+        [ "n"; "probing kbps"; "RON routing"; "quorum routing"; "RON total"; "quorum total"; "factor" ]
+  in
+  List.iter
+    (fun n ->
+      Texttable.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (B.probing_bps ~n /. 1000.);
+          Printf.sprintf "%.1f" (B.routing_bps B.Full_mesh ~n /. 1000.);
+          Printf.sprintf "%.1f" (B.routing_bps B.Quorum ~n /. 1000.);
+          Printf.sprintf "%.1f" (B.total_bps B.Full_mesh ~n /. 1000.);
+          Printf.sprintf "%.1f" (B.total_bps B.Quorum ~n /. 1000.);
+          Printf.sprintf "%.1fx" (B.crossover_factor ~n);
+        ])
+    sizes;
+  Texttable.print table;
+  Format.printf
+    "@.A budget of %.0f kbps supports %d full-mesh nodes vs %d quorum nodes.@."
+    (budget /. 1000.)
+    (B.max_nodes_within B.Full_mesh ~budget_bps:budget)
+    (B.max_nodes_within B.Quorum ~budget_bps:budget)
+
+let theory_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 50; 100; 140; 200; 300; 416; 1000 ]
+      & info [ "sizes" ] ~docv:"N,..." ~doc:"Overlay sizes to tabulate.")
+  in
+  let budget =
+    Arg.(value & opt float 56000. & info [ "budget" ] ~docv:"BPS" ~doc:"Bandwidth budget in bits/s.")
+  in
+  Cmd.v
+    (Cmd.info "theory" ~doc:"Closed-form bandwidth model (Section 6.1)")
+    Term.(const run_theory $ sizes $ budget)
+
+(* --- emulate ----------------------------------------------------------------- *)
+
+let algorithm_conv =
+  let parse = function
+    | "quorum" -> Ok Config.Quorum
+    | "fullmesh" | "full-mesh" | "ron" -> Ok Config.Full_mesh
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (quorum|fullmesh)" s))
+  in
+  let print ppf = function
+    | Config.Quorum -> Format.fprintf ppf "quorum"
+    | Config.Full_mesh -> Format.fprintf ppf "fullmesh"
+  in
+  Arg.conv (parse, print)
+
+let run_emulate n algorithm duration failures seed =
+  let config =
+    match algorithm with
+    | Config.Quorum -> Config.quorum_default
+    | Config.Full_mesh -> Config.ron_default
+  in
+  let world = Internet.generate ~seed ~n () in
+  let cluster =
+    Cluster.create ~config ~rtt_ms:world.Internet.rtt_ms ~loss:world.Internet.loss ~seed ()
+  in
+  if failures then begin
+    let (_ : Failures.t) =
+      Failures.install ~engine:(Cluster.engine cluster) ~profile:Failures.planetlab ~seed ()
+    in
+    ()
+  end;
+  Cluster.start cluster;
+  let warmup = 120. in
+  let horizon = warmup +. duration in
+  Format.printf "Running %d-node %s overlay for %.0f virtual seconds%s...@."
+    n
+    (match algorithm with Config.Quorum -> "quorum" | Config.Full_mesh -> "full-mesh")
+    duration
+    (if failures then " with PlanetLab-style failures" else "");
+  Cluster.run_until cluster horizon;
+  let routing = List.init n (fun node -> Cluster.routing_kbps cluster ~node ~t0:warmup ~t1:horizon) in
+  let total = List.init n (fun node -> Cluster.total_kbps cluster ~node ~t0:warmup ~t1:horizon) in
+  (match (Stats.summarize routing, Stats.summarize total) with
+  | Some r, Some t ->
+      Format.printf "@.Per-node routing traffic: mean %.1f kbps, max %.1f kbps@." r.Stats.mean r.Stats.max;
+      Format.printf "Per-node total traffic:   mean %.1f kbps, max %.1f kbps@." t.Stats.mean t.Stats.max
+  | _ -> ());
+  let fresh =
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst -> if src = dst then None else Cluster.freshness cluster ~src ~dst)
+          (List.init n Fun.id))
+      (List.init (min n 24) Fun.id)
+  in
+  match Stats.summarize fresh with
+  | Some f ->
+      Format.printf "Route freshness (sampled): median %.1fs, p97 %.1fs, max %.1fs@."
+        f.Stats.p50 f.Stats.p97 f.Stats.max
+  | None -> Format.printf "No freshness data (overlay too young?)@."
+
+let emulate_cmd =
+  let n = Arg.(value & opt int 49 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Overlay size.") in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Config.Quorum & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"quorum or fullmesh.")
+  in
+  let duration =
+    Arg.(value & opt float 300. & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc:"Measured virtual time.")
+  in
+  let failures = Arg.(value & flag & info [ "failures" ] ~doc:"Inject PlanetLab-style link failures.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Experiment seed.") in
+  Cmd.v
+    (Cmd.info "emulate" ~doc:"Run an overlay emulation and report traffic/freshness")
+    Term.(const run_emulate $ n $ algorithm $ duration $ failures $ seed)
+
+(* --- detour ------------------------------------------------------------------- *)
+
+let run_detour n seed threshold =
+  let world = Internet.generate ~seed ~n () in
+  let m = Costmat.of_arrays world.Internet.rtt_ms in
+  let routes = Fullmesh.one_hop_routes m in
+  let high = ref 0 and fixed = ref 0 and gains = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let direct = Costmat.get m i j in
+      if direct > threshold then begin
+        incr high;
+        let best = routes.(i).(j).Best_hop.cost in
+        if best <= threshold then incr fixed;
+        gains := (direct -. best) :: !gains
+      end
+    done
+  done;
+  Format.printf "%d-node synthetic internet (seed %d):@." n seed;
+  Format.printf "  %d pairs above %.0f ms@." !high threshold;
+  if !high > 0 then begin
+    Format.printf "  %d (%.1f%%) fixed by the optimal one-hop@." !fixed
+      (100. *. float_of_int !fixed /. float_of_int !high);
+    match Stats.summarize !gains with
+    | Some g ->
+        Format.printf "  detour gain: median %.0f ms, mean %.0f ms, max %.0f ms@."
+          g.Stats.p50 g.Stats.mean g.Stats.max
+    | None -> ()
+  end
+
+let detour_cmd =
+  let n = Arg.(value & opt int 359 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Overlay size.") in
+  let seed = Arg.(value & opt int 23 & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.") in
+  let threshold =
+    Arg.(value & opt float 400. & info [ "threshold" ] ~docv:"MS" ~doc:"High-latency threshold.")
+  in
+  Cmd.v
+    (Cmd.info "detour" ~doc:"One-hop detour statistics on a synthetic internet (Figure 1)")
+    Term.(const run_detour $ n $ seed $ threshold)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "apor" ~version:"1.0.0"
+             ~doc:"Scaling all-pairs overlay routing (CoNEXT 2009) toolbox")
+          [ grid_cmd; theory_cmd; emulate_cmd; detour_cmd ]))

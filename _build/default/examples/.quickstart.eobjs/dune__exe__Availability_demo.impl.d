@@ -1,0 +1,1 @@
+examples/availability_demo.ml: Apor_overlay Apor_sim Apor_topology Apor_util Cluster Config Engine Failures Format Internet List Rng

@@ -1,0 +1,1 @@
+examples/availability_demo.mli:

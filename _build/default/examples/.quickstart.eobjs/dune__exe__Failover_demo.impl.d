@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Apor_overlay Apor_topology Array Cluster Config Format List Node Printf Router Scenario

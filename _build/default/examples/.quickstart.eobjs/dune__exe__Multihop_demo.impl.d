@@ -1,0 +1,1 @@
+examples/multihop_demo.ml: Apor_core Apor_quorum Apor_util Array Costmat Float Format Grid List Multihop Stats String

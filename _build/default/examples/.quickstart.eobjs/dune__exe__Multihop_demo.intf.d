@@ -1,0 +1,1 @@
+examples/multihop_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apor_overlay Apor_quorum Array Cluster Config Format Grid List Printf String

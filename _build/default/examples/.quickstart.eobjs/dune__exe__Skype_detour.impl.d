@@ -1,0 +1,1 @@
+examples/skype_detour.ml: Apor_analysis Apor_core Apor_topology Apor_util Array Best_hop Costmat Float Format Fullmesh Internet List Printf Rng Stats Texttable

@@ -1,0 +1,94 @@
+(* Multi-hop routing (Section 3, "Multi-hop routes").
+
+   Some paths need more than one intermediate hop — the paper's example is
+   commercial sites routing around a partition through an Internet2-only
+   node.  This demo builds a topology where node clusters are bridged only
+   through a "transit" node, runs the iterated-doubling algorithm, and
+   shows route quality and communication cost per iteration.
+
+   Run with:  dune exec examples/multihop_demo.exe *)
+
+open Apor_util
+open Apor_quorum
+open Apor_core
+
+let n = 16
+
+(* Two 7-node "commercial" clusters (0-6 and 9-15) with NO direct links
+   between them; nodes 7 and 8 are transit nodes, and only 7-8 bridges the
+   two sides.  The best inter-cluster routes need 3 hops. *)
+let matrix =
+  let inf = infinity in
+  let m = Array.make_matrix n n inf in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 0.
+  done;
+  let set i j v =
+    m.(i).(j) <- v;
+    m.(j).(i) <- v
+  in
+  (* dense cheap links inside each cluster *)
+  for i = 0 to 6 do
+    for j = i + 1 to 6 do
+      set i j 20.
+    done
+  done;
+  for i = 9 to 15 do
+    for j = i + 1 to 15 do
+      set i j 20.
+    done
+  done;
+  (* each cluster reaches its transit node *)
+  for i = 0 to 6 do
+    set i 7 30.
+  done;
+  for i = 9 to 15 do
+    set i 8 30.
+  done;
+  (* the bridge *)
+  set 7 8 50.;
+  Costmat.of_arrays m
+
+let () =
+  let grid = Grid.build n in
+  let reachable tables =
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && Float.is_finite (Multihop.cost tables ~src:i ~dst:j) then incr count
+      done
+    done;
+    !count
+  in
+  let total_pairs = n * (n - 1) in
+  Format.printf
+    "Two 7-node clusters bridged only by transit nodes 7-8: inter-cluster@.\
+     routes need up to 3 hops (e.g. 0 -> 7 -> 8 -> 9).@.@.";
+  Format.printf "  %-10s %-12s %-18s %-22s@." "iteration" "max hops" "reachable pairs"
+    "mean bytes sent/node";
+  List.iter
+    (fun iters ->
+      let tables, stats = Multihop.run ~iterations:iters ~grid matrix in
+      let mean_bytes =
+        Stats.mean_array (Array.map float_of_int stats.Multihop.bytes_sent)
+      in
+      Format.printf "  %-10d %-12d %d/%d %22.0f@." iters
+        (Multihop.max_path_edges tables)
+        (reachable tables) total_pairs mean_bytes)
+    [ 1; 2; 3 ];
+
+  let tables, _ = Multihop.run ~iterations:2 ~grid matrix in
+  Format.printf "@.Converged routes (2 iterations = paths of up to 4 hops):@.";
+  List.iter
+    (fun (i, j) ->
+      match Multihop.path tables ~src:i ~dst:j with
+      | Some path ->
+          Format.printf "  %d -> %d: %s  (%.0f ms)@." i j
+            (String.concat " -> " (List.map string_of_int path))
+            (Multihop.cost tables ~src:i ~dst:j)
+      | None -> Format.printf "  %d -> %d: unreachable@." i j)
+    [ (0, 9); (3, 15); (6, 12) ];
+  Format.printf
+    "@.One-hop routing alone would leave the clusters partitioned; two@.\
+     doubling iterations (twice the communication) connect everything,@.\
+     matching the paper's 'optimal 3-hop routes for twice the cost' claim.@."

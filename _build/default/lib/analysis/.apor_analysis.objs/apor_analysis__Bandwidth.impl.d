@@ -1,0 +1,1 @@
+lib/analysis/bandwidth.ml: Apor_linkstate Apor_overlay Apor_quorum Config Grid List Overhead

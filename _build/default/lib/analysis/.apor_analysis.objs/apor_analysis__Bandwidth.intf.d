@@ -1,0 +1,1 @@
+lib/analysis/bandwidth.mli: Apor_overlay

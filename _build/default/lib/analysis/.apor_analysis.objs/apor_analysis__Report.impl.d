@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Apor_overlay Apor_util Array Cdf Float List Metrics Stats

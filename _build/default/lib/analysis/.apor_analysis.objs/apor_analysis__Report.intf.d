@@ -1,0 +1,1 @@
+lib/analysis/report.mli: Apor_overlay Apor_util Metrics Stats

@@ -1,0 +1,53 @@
+open Apor_util
+open Apor_overlay
+
+let freshness_axis = [ 1.; 2.; 4.; 8.; 15.; 30.; 60.; 120.; 240.; 480.; 960. ]
+
+type freshness_row = {
+  x : float;
+  median_le : int;
+  average_le : int;
+  p97_le : int;
+  max_le : int;
+}
+
+let freshness_rows summaries ~xs =
+  match summaries with
+  | [] -> List.map (fun x -> { x; median_le = 0; average_le = 0; p97_le = 0; max_le = 0 }) xs
+  | _ ->
+      let pick f = Cdf.of_list (List.map f summaries) in
+      let median = pick (fun (s : Metrics.per_pair) -> s.median) in
+      let average = pick (fun s -> s.average) in
+      let p97 = pick (fun s -> s.p97) in
+      let maxc = pick (fun s -> s.max) in
+      List.map
+        (fun x ->
+          {
+            x;
+            median_le = Cdf.count_le median x;
+            average_le = Cdf.count_le average x;
+            p97_le = Cdf.count_le p97 x;
+            max_le = Cdf.count_le maxc x;
+          })
+        xs
+
+let node_cdf_rows ?(max_rows = 48) ~mean ~max () =
+  if Array.length mean = 0 || Array.length mean <> Array.length max then
+    invalid_arg "Report.node_cdf_rows: mismatched arrays";
+  let mean_cdf = Cdf.of_list (Array.to_list mean) in
+  let max_cdf = Cdf.of_list (Array.to_list max) in
+  let xs =
+    List.sort_uniq Float.compare (Array.to_list mean @ Array.to_list max)
+  in
+  (* Thin dense staircases for readability, always keeping the endpoints. *)
+  let xs =
+    let len = List.length xs in
+    if len <= max_rows then xs
+    else begin
+      let stride = (len + max_rows - 1) / max_rows in
+      List.filteri (fun i _ -> i mod stride = 0 || i = len - 1) xs
+    end
+  in
+  List.map (fun x -> (x, Cdf.count_le mean_cdf x, Cdf.count_le max_cdf x)) xs
+
+let percentile_summary samples = Stats.summarize (Array.to_list samples)

@@ -1,0 +1,31 @@
+(** Post-processing shared by the benches: turning sampler output into the
+    rows the paper's figures plot. *)
+
+open Apor_util
+open Apor_overlay
+
+val freshness_axis : float list
+(** The log-scale x axis of Figures 12–14:
+    1, 2, 4, 8, 15, 30, 60, 120, 240, 480, 960 seconds. *)
+
+type freshness_row = {
+  x : float;           (** freshness threshold, seconds *)
+  median_le : int;     (** pairs whose per-pair median is <= x *)
+  average_le : int;
+  p97_le : int;
+  max_le : int;
+}
+
+val freshness_rows : Metrics.per_pair list -> xs:float list -> freshness_row list
+(** Count pairs under each threshold for the four per-pair aggregates —
+    exactly the four lines of Figure 12 (or 13/14 when the summaries are
+    restricted to one source). *)
+
+val node_cdf_rows :
+  ?max_rows:int -> mean:float array -> max:float array -> unit -> (float * int * int) list
+(** Staircase rows [(x, #nodes mean<=x, #nodes max<=x)] for Figures 8, 10
+    and 11, evaluated at the distinct sample values, thinned to at most
+    [max_rows] rows (default 48) with the endpoints always kept. *)
+
+val percentile_summary : float array -> Stats.summary option
+(** Convenience re-export for bench printouts. *)

@@ -1,0 +1,1 @@
+lib/core/best_hop.ml: Apor_util Array Costmat List Nodeid

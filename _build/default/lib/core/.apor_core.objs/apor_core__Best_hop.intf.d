@@ -1,0 +1,1 @@
+lib/core/best_hop.mli: Apor_util Costmat Nodeid

@@ -1,0 +1,1 @@
+lib/core/costmat.ml: Array Float

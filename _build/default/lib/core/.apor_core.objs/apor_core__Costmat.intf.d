@@ -1,0 +1,1 @@
+lib/core/costmat.mli: Apor_util Nodeid

@@ -1,0 +1,1 @@
+lib/core/diamonds.ml: Array List

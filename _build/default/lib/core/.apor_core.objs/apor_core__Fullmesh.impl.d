@@ -1,0 +1,1 @@
+lib/core/fullmesh.ml: Apor_linkstate Apor_util Array Best_hop Costmat Heap Overhead

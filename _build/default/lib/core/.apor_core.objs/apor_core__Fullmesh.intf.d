@@ -1,0 +1,1 @@
+lib/core/fullmesh.mli: Apor_util Best_hop Costmat Nodeid

@@ -1,0 +1,1 @@
+lib/core/multihop.ml: Apor_linkstate Apor_quorum Array Costmat Float Grid List Overhead

@@ -1,0 +1,1 @@
+lib/core/multihop.mli: Apor_quorum Apor_util Costmat Grid Nodeid

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Apor_linkstate Apor_quorum Apor_util Array Best_hop Costmat List Nodeid Overhead System

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Apor_quorum Best_hop Costmat Grid System

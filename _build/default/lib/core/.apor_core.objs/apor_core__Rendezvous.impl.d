@@ -1,0 +1,1 @@
+lib/core/rendezvous.ml: Apor_linkstate Best_hop List Snapshot

@@ -1,0 +1,1 @@
+lib/core/rendezvous.mli: Apor_linkstate Apor_util Best_hop Metric Nodeid Snapshot

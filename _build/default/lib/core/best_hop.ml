@@ -1,0 +1,46 @@
+open Apor_util
+
+type choice = { hop : Nodeid.t; cost : float }
+
+let direct ~dst ~cost = { hop = dst; cost }
+let is_direct ~dst choice = choice.hop = dst
+
+let check ~src ~dst ~cost_from_src ~cost_to_dst =
+  let n = Array.length cost_from_src in
+  if Array.length cost_to_dst <> n then
+    invalid_arg "Best_hop: cost vector lengths differ";
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Best_hop: src or dst out of range";
+  if src = dst then invalid_arg "Best_hop: src = dst"
+
+(* Strictly-better comparison: ties keep the incumbent, and the direct path
+   is installed first, so "prefer direct, then lowest hop id" falls out of
+   the iteration order. *)
+let best ~src ~dst ~cost_from_src ~cost_to_dst =
+  check ~src ~dst ~cost_from_src ~cost_to_dst;
+  let n = Array.length cost_from_src in
+  let best = ref (direct ~dst ~cost:cost_from_src.(dst)) in
+  for h = 0 to n - 1 do
+    if h <> src && h <> dst then begin
+      let c = cost_from_src.(h) +. cost_to_dst.(h) in
+      if c < !best.cost then best := { hop = h; cost = c }
+    end
+  done;
+  !best
+
+let best_restricted ~src ~dst ~hops ~cost_from_src ~cost_to_dst =
+  check ~src ~dst ~cost_from_src ~cost_to_dst;
+  let candidate best h =
+    if h = src || h = dst then best
+    else begin
+      let c = cost_from_src.(h) +. cost_to_dst.(h) in
+      if c < best.cost then { hop = h; cost = c } else best
+    end
+  in
+  List.fold_left candidate (direct ~dst ~cost:cost_from_src.(dst)) hops
+
+let brute_force_cost m src dst =
+  let choice =
+    best ~src ~dst ~cost_from_src:(Costmat.row m src) ~cost_to_dst:(Costmat.column m dst)
+  in
+  choice.cost

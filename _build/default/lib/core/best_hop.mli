@@ -1,0 +1,47 @@
+(** The one-hop route kernel.
+
+    Given node [src]'s outgoing costs and the costs into [dst], find the
+    cheapest path [src ~ h ~ dst] over all intermediaries [h], compared
+    against the direct link.  This is the computation a rendezvous server
+    performs for each pair of its clients in round two (Figure 3), and the
+    hot inner loop of the whole system. *)
+
+open Apor_util
+
+type choice = {
+  hop : Nodeid.t;  (** Intermediary, or [dst] itself for the direct path. *)
+  cost : float;    (** Total path cost; [infinity] when nothing reaches. *)
+}
+
+val direct : dst:Nodeid.t -> cost:float -> choice
+
+val is_direct : dst:Nodeid.t -> choice -> bool
+
+val best :
+  src:Nodeid.t ->
+  dst:Nodeid.t ->
+  cost_from_src:float array ->
+  cost_to_dst:float array ->
+  choice
+(** [cost_from_src.(h)] is [cost src h]; [cost_to_dst.(h)] is [cost h dst]
+    (for symmetric metrics this is just [dst]'s announced vector).  Ties
+    prefer the direct path, then the lowest hop id, making results
+    deterministic across rendezvous servers.
+    @raise Invalid_argument when the vectors' lengths differ or [src],
+    [dst] are out of range or equal. *)
+
+val best_restricted :
+  src:Nodeid.t ->
+  dst:Nodeid.t ->
+  hops:Nodeid.t list ->
+  cost_from_src:float array ->
+  cost_to_dst:float array ->
+  choice
+(** Same, but intermediaries restricted to [hops] (plus the direct path) —
+    used for the redundant-link-state fallback of Section 4.2, where a node
+    can only evaluate the [~2*sqrt n] neighbours whose tables it holds, and
+    for the random-intermediary comparison of Figure 1. *)
+
+val brute_force_cost : Costmat.t -> Nodeid.t -> Nodeid.t -> float
+(** Reference oracle: cheapest one-hop (or direct) cost read straight off a
+    full cost matrix.  O(n); for tests and figure generation. *)

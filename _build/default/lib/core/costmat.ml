@@ -1,0 +1,50 @@
+type t = float array array
+
+let check_cost c =
+  if Float.is_nan c then invalid_arg "Costmat: NaN cost";
+  if c < 0. then invalid_arg "Costmat: negative cost"
+
+let create ~n ~f =
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then 0.
+          else begin
+            let c = f i j in
+            check_cost c;
+            c
+          end))
+
+let of_arrays m =
+  let n = Array.length m in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Costmat.of_arrays: not square";
+      Array.iteri
+        (fun j c ->
+          check_cost c;
+          if i = j && c <> 0. then invalid_arg "Costmat.of_arrays: non-zero diagonal")
+        row)
+    m;
+  Array.map Array.copy m
+
+let size = Array.length
+let get m i j = m.(i).(j)
+let row m i = Array.copy m.(i)
+let column m j = Array.init (Array.length m) (fun i -> m.(i).(j))
+
+let is_symmetric m =
+  let n = Array.length m in
+  let rec go i j =
+    if i >= n then true
+    else if j >= n then go (i + 1) (i + 2)
+    else if Float.equal m.(i).(j) m.(j).(i) then go i (j + 1)
+    else false
+  in
+  go 0 1
+
+let symmetrize m =
+  let n = Array.length m in
+  Array.init n (fun i -> Array.init n (fun j -> Float.min m.(i).(j) m.(j).(i)))
+
+let map m ~f =
+  Array.mapi (fun i row -> Array.mapi (fun j c -> if i = j then 0. else f c) row) m

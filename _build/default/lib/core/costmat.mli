@@ -1,0 +1,41 @@
+(** Dense cost matrices.
+
+    [c.(i).(j)] is the cost of the direct virtual link from [i] to [j]:
+    non-negative, [0.] on the diagonal, [infinity] for a dead link.  The
+    algorithm layer works on these; the overlay derives them from
+    link-state snapshots, the benches from synthetic topologies. *)
+
+open Apor_util
+
+type t = float array array
+
+val create : n:int -> f:(Nodeid.t -> Nodeid.t -> float) -> t
+(** Build an [n x n] matrix; the diagonal is forced to [0.].
+    @raise Invalid_argument if [f] returns a negative or NaN cost. *)
+
+val of_arrays : float array array -> t
+(** Validate and adopt an existing matrix.
+    @raise Invalid_argument when ragged, non-square, negative, NaN or with
+    a non-zero diagonal. *)
+
+val size : t -> int
+
+val get : t -> Nodeid.t -> Nodeid.t -> float
+
+val row : t -> Nodeid.t -> float array
+(** Fresh copy of node [i]'s outgoing-cost vector — exactly the information
+    [i]'s link-state announcement carries. *)
+
+val column : t -> Nodeid.t -> float array
+(** Fresh copy of the incoming costs to [j]. *)
+
+val is_symmetric : t -> bool
+(** The paper's base assumption ("all links are bidirectional with
+    identical cost"); the algorithms also support asymmetric matrices per
+    its footnote 2. *)
+
+val symmetrize : t -> t
+(** Replace each pair with its minimum, producing a symmetric matrix. *)
+
+val map : t -> f:(float -> float) -> t
+(** Apply [f] to every off-diagonal cost; the diagonal stays [0.]. *)

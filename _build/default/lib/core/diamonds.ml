@@ -1,0 +1,40 @@
+let diamonds_in_complete n =
+  if n < 4 then 0
+  else begin
+    let c4 = n * (n - 1) * (n - 2) * (n - 3) / 24 in
+    3 * c4
+  end
+
+let count ~n ~edges =
+  let adj = Array.make_matrix n n false in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= n || b >= n then
+        invalid_arg "Diamonds.count: edge endpoint out of range";
+      if a = b then invalid_arg "Diamonds.count: self loop";
+      adj.(a).(b) <- true;
+      adj.(b).(a) <- true)
+    edges;
+  (* A diamond is two "opposite" unordered pairs {a,c}, {b,d} with all four
+     crossing edges present.  Enumerate a < c and b < d over disjoint pairs;
+     each diamond is produced twice (once per choice of which pair is
+     "opposite"), so halve at the end. *)
+  let total = ref 0 in
+  for a = 0 to n - 1 do
+    for c = a + 1 to n - 1 do
+      for b = 0 to n - 1 do
+        if b <> a && b <> c then
+          for d = b + 1 to n - 1 do
+            if d <> a && d <> c then
+              if adj.(a).(b) && adj.(b).(c) && adj.(c).(d) && adj.(d).(a) then
+                incr total
+          done
+      done
+    done
+  done;
+  !total / 2
+
+let lemma3_bound e = e * e
+
+let lower_bound_edges_per_node n =
+  sqrt (float_of_int (diamonds_in_complete n) /. float_of_int (max 1 n))

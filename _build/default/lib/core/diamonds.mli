@@ -1,0 +1,26 @@
+(** Diamond counting — the combinatorial core of the paper's lower bound
+    (Appendix A).
+
+    A diamond [a-b-c-d] is an undirected 4-cycle; each alternative pair of
+    one-hop paths between two nodes corresponds to one.  Lemma 2: the
+    complete graph on [n] nodes contains [3 * C(n, 4)] diamonds.  Lemma 3:
+    any set of [e] edges forms at most [e^2] diamonds.  Together they force
+    [Omega(n sqrt n)] per-node communication for any algorithm that
+    compares all one-hop alternatives. *)
+
+val diamonds_in_complete : int -> int
+(** [3 * C(n, 4)], exactly (Lemma 2). *)
+
+val count : n:int -> edges:(int * int) list -> int
+(** Exact number of distinct diamonds formed by the given undirected edge
+    set over nodes [0 .. n-1].  Exponential in nothing but gentle: O(n^4);
+    intended for the tests and the theory bench ([n <= ~40]).
+    @raise Invalid_argument for out-of-range or self-loop edges. *)
+
+val lemma3_bound : int -> int
+(** [e^2] for [e] edges (Lemma 3). *)
+
+val lower_bound_edges_per_node : int -> float
+(** The bound of Theorem 4: with [n] nodes, each node must on average
+    receive the weights of [Omega(n sqrt n)] edges; this returns the exact
+    counting-argument threshold [sqrt (3 * C(n,4) / n)]. *)

@@ -1,0 +1,108 @@
+open Apor_util
+open Apor_quorum
+open Apor_linkstate
+
+type stats = {
+  messages_sent : int array;
+  bytes_sent : int array;
+  bytes_received : int array;
+}
+
+type result = { routes : Best_hop.choice array array; stats : stats }
+
+let max_messages_bound ~n =
+  let rec ceil_sqrt s = if s * s >= n then s else ceil_sqrt (s + 1) in
+  4 * ceil_sqrt 0
+
+let run_with ?(symmetric = true) ~system m =
+  let n = Costmat.size m in
+  if system.System.size <> n then
+    invalid_arg "Protocol.run: quorum system and matrix sizes differ";
+  if symmetric && not (Costmat.is_symmetric m) then
+    invalid_arg "Protocol.run: matrix is asymmetric; pass ~symmetric:false";
+  let messages_sent = Array.make n 0 in
+  let bytes_sent = Array.make n 0 in
+  let bytes_received = Array.make n 0 in
+  let send ~src ~dst ~bytes =
+    messages_sent.(src) <- messages_sent.(src) + 1;
+    bytes_sent.(src) <- bytes_sent.(src) + bytes;
+    bytes_received.(dst) <- bytes_received.(dst) + bytes
+  in
+  (* Round one: each node announces its outgoing costs — and, per the
+     paper's footnote 2, the incoming costs too when links are asymmetric —
+     to its rendezvous servers.  [tables.(k)] collects what server [k]
+     received, keyed by client id, as (outgoing, incoming) vectors (the
+     same array twice in the symmetric case). *)
+  let tables = Array.make n Nodeid.Map.empty in
+  let announce_bytes =
+    if symmetric then Overhead.link_state_bytes ~n
+    else Overhead.asymmetric_link_state_bytes ~n
+  in
+  for i = 0 to n - 1 do
+    let out_costs = Costmat.row m i in
+    let in_costs = if symmetric then out_costs else Costmat.column m i in
+    List.iter
+      (fun k ->
+        send ~src:i ~dst:k ~bytes:announce_bytes;
+        tables.(k) <- Nodeid.Map.add i (out_costs, in_costs) tables.(k))
+      (system.System.servers i)
+  done;
+  (* Round two: each server recommends, for every client pair (i, j), the
+     best one-hop from i to j. *)
+  let routes =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then Best_hop.direct ~dst:i ~cost:0.
+            else Best_hop.direct ~dst:j ~cost:infinity))
+  in
+  let learn i j (choice : Best_hop.choice) =
+    if choice.cost < routes.(i).(j).Best_hop.cost then routes.(i).(j) <- choice
+  in
+  for k = 0 to n - 1 do
+    let clients = system.System.clients k in
+    (* Destinations covered by server k: its clients and k itself.  The
+       latter matters when the pair's only connecting rendezvous is one of
+       the pair (e.g. two-node rows of incomplete grids): i's route to k is
+       then k's own responsibility. *)
+    let dsts = k :: clients in
+    let rec_bytes =
+      Overhead.recommendation_message_bytes ~entries:(List.length clients)
+    in
+    List.iter
+      (fun i ->
+        let cost_from_src, _ = Nodeid.Map.find i tables.(k) in
+        send ~src:k ~dst:i ~bytes:rec_bytes;
+        List.iter
+          (fun j ->
+            if j <> i then begin
+              let cost_to_dst =
+                if j = k then Costmat.column m k else snd (Nodeid.Map.find j tables.(k))
+              in
+              learn i j (Best_hop.best ~src:i ~dst:j ~cost_from_src ~cost_to_dst)
+            end)
+          dsts)
+      clients
+  done;
+  (* Section 4.2: every node also holds its neighbours' full tables and can
+     evaluate one-hop routes through them to any destination on its own.
+     With no failures this is redundant (rendezvous recommendations are
+     already optimal); it also makes each node's own row/column coverage
+     explicit. *)
+  for i = 0 to n - 1 do
+    let cost_from_src = Costmat.row m i in
+    Nodeid.Map.iter
+      (fun s (out_s, in_s) ->
+        (* Full best-hop to the client itself: i holds s's whole table, so
+           it can scan every intermediary (this is also what covers pairs
+           whose only connecting rendezvous is i). *)
+        learn i s (Best_hop.best ~src:i ~dst:s ~cost_from_src ~cost_to_dst:in_s);
+        (* One-hop through the client towards everyone else. *)
+        for j = 0 to n - 1 do
+          if j <> i && j <> s then
+            learn i j { Best_hop.hop = s; cost = cost_from_src.(s) +. out_s.(j) }
+        done)
+      tables.(i)
+  done;
+  { routes; stats = { messages_sent; bytes_sent; bytes_received } }
+
+let run ?symmetric ~grid m = run_with ?symmetric ~system:(System.of_grid grid) m

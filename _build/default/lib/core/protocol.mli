@@ -1,0 +1,50 @@
+(** One synchronous execution of the two-round quorum routing protocol over
+    a frozen cost matrix (Section 3, Theorem 1).
+
+    This is the algorithm stripped of time: every node announces its cost
+    row to its rendezvous servers (round one), every server computes and
+    returns best-hop recommendations for each pair of its clients (round
+    two), and each node additionally evaluates one-hop routes through the
+    neighbours whose tables it now holds (Section 4.2's redundancy,
+    which also covers same-row/column destinations).
+
+    The asynchronous, failure-prone version lives in [Apor_overlay]; this
+    one exists so the optimality and communication-complexity claims can be
+    tested and benchmarked in isolation. *)
+
+open Apor_quorum
+
+type stats = {
+  messages_sent : int array;   (** per node, both rounds *)
+  bytes_sent : int array;      (** per node, headers included *)
+  bytes_received : int array;
+}
+
+type result = {
+  routes : Best_hop.choice array array;
+      (** [routes.(i).(j)]: the best one-hop choice node [i] learned for
+          destination [j]; the diagonal holds [direct ~dst:i ~cost:0.]. *)
+  stats : stats;
+}
+
+val run : ?symmetric:bool -> grid:Grid.t -> Costmat.t -> result
+(** Execute both rounds.  Theorem 1 guarantees
+    [routes.(i).(j).cost = Best_hop.brute_force_cost m i j] for all pairs.
+
+    [symmetric] (default [true]) selects the announcement format: with
+    symmetric costs a node's outgoing vector doubles as the costs into it
+    ([3n]-byte payloads); with [~symmetric:false] announcements carry both
+    directions (footnote 2 of the paper, [5n]-byte payloads) and arbitrary
+    asymmetric matrices are routed optimally.
+    @raise Invalid_argument when the grid and matrix sizes differ, or when
+    the matrix is asymmetric but [symmetric] was left [true]. *)
+
+val run_with : ?symmetric:bool -> system:System.t -> Costmat.t -> result
+(** Same protocol over an arbitrary quorum system (the paper notes the
+    algorithm does not depend on the grid, or even on the rendezvous
+    relation being symmetric).  Round one goes to [system.servers],
+    round two serves [system.clients]. *)
+
+val max_messages_bound : n:int -> int
+(** Theorem 1's per-node message bound, [4 * ceil (sqrt n)].  Holds for
+    the grid; other quorum systems are bounded by twice their degree. *)

@@ -1,0 +1,24 @@
+(** Round-two computation at a rendezvous server (Section 3, Figure 3b).
+
+    A rendezvous server holds the link-state snapshots of its clients.  For
+    each client [i] it recommends, for every other client [j] whose table
+    it holds, the best one-hop intermediary from [i] to [j]. *)
+
+open Apor_util
+open Apor_linkstate
+
+val recommend_pair :
+  metric:Metric.t -> src:Snapshot.t -> dst:Snapshot.t -> Best_hop.choice
+(** Best one-hop from [src]'s owner to [dst]'s owner, assuming symmetric
+    links ([dst]'s announced costs stand in for the costs {e into} its
+    owner, per the paper's base assumption).
+    @raise Invalid_argument when the snapshots have different sizes or the
+    same owner. *)
+
+val recommendations_for :
+  metric:Metric.t ->
+  client:Snapshot.t ->
+  others:Snapshot.t list ->
+  (Nodeid.t * Best_hop.choice) list
+(** The full recommendation message for one client: one entry per other
+    client, in the order given.  [4 * length] payload bytes on the wire. *)

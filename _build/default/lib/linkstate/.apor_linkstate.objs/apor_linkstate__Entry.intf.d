@@ -1,0 +1,1 @@
+lib/linkstate/entry.mli: Format

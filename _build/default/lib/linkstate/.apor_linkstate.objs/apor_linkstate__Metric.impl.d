@@ -1,0 +1,1 @@
+lib/linkstate/metric.ml: Entry Format

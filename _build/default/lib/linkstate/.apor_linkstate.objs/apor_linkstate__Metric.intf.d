@@ -1,0 +1,1 @@
+lib/linkstate/metric.mli: Entry Format

@@ -1,0 +1,1 @@
+lib/linkstate/overhead.mli:

@@ -1,0 +1,1 @@
+lib/linkstate/snapshot.ml: Apor_util Array Bytes Entry Format Metric Nodeid

@@ -1,0 +1,1 @@
+lib/linkstate/snapshot.mli: Apor_util Entry Format Metric Nodeid

@@ -1,0 +1,1 @@
+lib/linkstate/table.ml: Apor_util Array Entry Nodeid Option Snapshot

@@ -1,0 +1,1 @@
+lib/linkstate/table.mli: Apor_util Nodeid Snapshot

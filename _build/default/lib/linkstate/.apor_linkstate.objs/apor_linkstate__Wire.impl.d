@@ -1,0 +1,1 @@
+lib/linkstate/wire.ml: Array Bytes Entry Float List Printf

@@ -1,0 +1,1 @@
+lib/linkstate/wire.mli: Apor_util Entry Nodeid

@@ -1,0 +1,29 @@
+type t = { latency_ms : float; loss : float; alive : bool }
+
+let max_latency_ms = 65534
+
+let make ~latency_ms ~loss ~alive =
+  if latency_ms < 0. then invalid_arg "Entry.make: negative latency";
+  if loss < 0. || loss > 1. then invalid_arg "Entry.make: loss outside [0,1]";
+  { latency_ms; loss; alive }
+
+let self = { latency_ms = 0.; loss = 0.; alive = true }
+let unreachable = { latency_ms = float_of_int max_latency_ms; loss = 1.; alive = false }
+
+let quantize t =
+  if not t.alive then unreachable
+  else begin
+    let latency_ms =
+      float_of_int (min max_latency_ms (int_of_float (Float.round t.latency_ms)))
+    in
+    let loss = Float.round (t.loss *. 254.) /. 254. in
+    { latency_ms; loss; alive = true }
+  end
+
+let equal a b =
+  a.alive = b.alive
+  && (not a.alive || (Float.equal a.latency_ms b.latency_ms && Float.equal a.loss b.loss))
+
+let pp ppf t =
+  if not t.alive then Format.fprintf ppf "dead"
+  else Format.fprintf ppf "%.0fms/%.1f%%" t.latency_ms (t.loss *. 100.)

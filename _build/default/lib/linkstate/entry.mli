@@ -1,0 +1,31 @@
+(** One link-state table entry: what node [i] believes about its virtual
+    link to node [j].
+
+    The wire format (Section 5, "Table Exchange") spends two bytes on
+    latency (whole milliseconds) and one byte on liveness and loss, so a
+    link-state table for an [n]-node overlay costs exactly [3n] bytes of
+    payload.  [quantize] models that lossy encoding. *)
+
+type t = { latency_ms : float; loss : float; alive : bool }
+
+val make : latency_ms:float -> loss:float -> alive:bool -> t
+(** @raise Invalid_argument when [latency_ms < 0] or [loss] outside [0,1]. *)
+
+val self : t
+(** The diagonal entry: zero latency, zero loss, alive. *)
+
+val unreachable : t
+(** A dead link. *)
+
+val max_latency_ms : int
+(** Largest latency the two-byte field can carry (65534; 65535 marks a dead
+    link). *)
+
+val quantize : t -> t
+(** Round-trip through the wire representation: latency to whole
+    milliseconds (saturating at [max_latency_ms]), loss to 1/254 steps,
+    dead links normalized to [unreachable]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

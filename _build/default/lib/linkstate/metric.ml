@@ -1,0 +1,18 @@
+type t = Latency | Loss_sensitive of { retry_penalty_ms : float }
+
+let default = Latency
+
+let cost t (e : Entry.t) =
+  if not e.alive then infinity
+  else begin
+    match t with
+    | Latency -> e.latency_ms
+    | Loss_sensitive { retry_penalty_ms } ->
+        if e.loss >= 1. then infinity
+        else (e.latency_ms /. (1. -. e.loss)) +. (retry_penalty_ms *. e.loss)
+  end
+
+let pp ppf = function
+  | Latency -> Format.fprintf ppf "latency"
+  | Loss_sensitive { retry_penalty_ms } ->
+      Format.fprintf ppf "loss-sensitive(penalty=%.0fms)" retry_penalty_ms

@@ -1,0 +1,23 @@
+(** Path metrics: turn a link-state entry into a scalar cost.
+
+    The routing algorithm is metric-agnostic (the paper stresses "optimal
+    one-hop routes for arbitrary metrics"); the overlay and the benches use
+    [Latency] everywhere the paper does, and [Loss_sensitive] mirrors RON's
+    latency/loss-combined route selection for the loss-aware examples. *)
+
+type t =
+  | Latency  (** EWMA round-trip latency in milliseconds; dead = infinite. *)
+  | Loss_sensitive of { retry_penalty_ms : float }
+      (** Expected latency including retransmissions:
+          [latency / (1 - loss)] plus [retry_penalty_ms * loss]; dead =
+          infinite.  Dominated by latency at low loss, steeply penalizes
+          lossy links. *)
+
+val default : t
+(** [Latency]. *)
+
+val cost : t -> Entry.t -> float
+(** Scalar cost of a link; [infinity] for dead links, [0] for self.
+    Always non-negative and finite on live links. *)
+
+val pp : Format.formatter -> t -> unit

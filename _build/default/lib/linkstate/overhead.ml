@@ -1,0 +1,8 @@
+let header_bytes = 46
+let probe_bytes = header_bytes
+let link_state_bytes ~n = header_bytes + (3 * n)
+let multihop_state_bytes ~n = header_bytes + (5 * n)
+let asymmetric_link_state_bytes ~n = header_bytes + (5 * n)
+let recommendation_message_bytes ~entries = header_bytes + (4 * entries)
+let membership_view_bytes ~n = header_bytes + 4 + (2 * n)
+let membership_request_bytes = header_bytes

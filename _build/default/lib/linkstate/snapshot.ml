@@ -1,0 +1,89 @@
+open Apor_util
+
+(* Stored as parallel arrays (unboxed floats, one liveness byte) rather than
+   an Entry.t array: a full-mesh node holds n of these, so compactness is
+   what keeps large emulations in memory. *)
+type t = {
+  owner : Nodeid.t;
+  latency : float array;
+  loss : float array;
+  live : Bytes.t;
+}
+
+let create ~owner entries =
+  let n = Array.length entries in
+  if owner < 0 || owner >= n then invalid_arg "Snapshot.create: owner outside table";
+  let latency = Array.make n 0. in
+  let loss = Array.make n 0. in
+  let live = Bytes.make n '\000' in
+  Array.iteri
+    (fun j e ->
+      let e = Entry.quantize (if j = owner then Entry.self else e) in
+      latency.(j) <- e.Entry.latency_ms;
+      loss.(j) <- e.Entry.loss;
+      Bytes.set live j (if e.Entry.alive then '\001' else '\000'))
+    entries;
+  { owner; latency; loss; live }
+
+let owner t = t.owner
+let size t = Array.length t.latency
+
+let check t j =
+  if j < 0 || j >= Array.length t.latency then invalid_arg "Snapshot: id out of range"
+
+let alive t j = Bytes.get t.live j = '\001'
+
+let entry t j =
+  check t j;
+  if alive t j then
+    Entry.make ~latency_ms:t.latency.(j) ~loss:t.loss.(j) ~alive:true
+  else Entry.unreachable
+
+let cost t metric j =
+  check t j;
+  if alive t j then
+    Metric.cost metric (Entry.make ~latency_ms:t.latency.(j) ~loss:t.loss.(j) ~alive:true)
+  else infinity
+
+let cost_vector t metric =
+  let n = Array.length t.latency in
+  match (metric : Metric.t) with
+  | Metric.Latency ->
+      Array.init n (fun j -> if alive t j then t.latency.(j) else infinity)
+  | Metric.Loss_sensitive _ ->
+      Array.init n (fun j ->
+          if alive t j then
+            Metric.cost metric
+              (Entry.make ~latency_ms:t.latency.(j) ~loss:t.loss.(j) ~alive:true)
+          else infinity)
+
+let reaches t j =
+  check t j;
+  alive t j
+
+let alive_count t =
+  let count = ref 0 in
+  for j = 0 to size t - 1 do
+    if j <> t.owner && alive t j then incr count
+  done;
+  !count
+
+let payload_bytes t = 3 * size t
+
+let equal a b =
+  a.owner = b.owner
+  && size a = size b
+  &&
+  let rec go j =
+    if j >= size a then true
+    else if Entry.equal (entry a j) (entry b j) then go (j + 1)
+    else false
+  in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>snapshot(owner=%d" t.owner;
+  for j = 0 to size t - 1 do
+    Format.fprintf ppf ", %d:%a" j Entry.pp (entry t j)
+  done;
+  Format.fprintf ppf ")@]"

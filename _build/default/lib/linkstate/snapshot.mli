@@ -1,0 +1,39 @@
+(** An immutable link-state table snapshot: what one node announces to its
+    rendezvous servers in round one.  Entries are stored already quantized,
+    exactly as they travel on the wire. *)
+
+open Apor_util
+
+type t
+
+val create : owner:Nodeid.t -> Entry.t array -> t
+(** [create ~owner entries] quantizes and freezes [entries]; index [owner]
+    is forced to {!Entry.self}.
+    @raise Invalid_argument when [owner] is outside the array. *)
+
+val owner : t -> Nodeid.t
+
+val size : t -> int
+(** Overlay size [n] the snapshot describes. *)
+
+val entry : t -> Nodeid.t -> Entry.t
+(** @raise Invalid_argument for an out-of-range id. *)
+
+val cost : t -> Metric.t -> Nodeid.t -> float
+(** [cost t metric j]: scalar cost of the owner's link to [j]. *)
+
+val cost_vector : t -> Metric.t -> float array
+(** All costs as a fresh array indexed by destination. *)
+
+val reaches : t -> Nodeid.t -> bool
+(** Whether the owner currently considers its link to [j] alive. *)
+
+val alive_count : t -> int
+(** Number of live links (excluding self). *)
+
+val payload_bytes : t -> int
+(** Wire payload size: [3 * n] bytes, per the paper. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

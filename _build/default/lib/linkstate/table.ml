@@ -1,0 +1,60 @@
+open Apor_util
+
+type row = { snapshot : Snapshot.t; received_at : float }
+
+type t = { n : int; owner : Nodeid.t; rows : row option array }
+
+let create ~n ~owner =
+  if n < 1 then invalid_arg "Table.create: n must be positive";
+  if owner < 0 || owner >= n then invalid_arg "Table.create: owner outside [0, n)";
+  let rows = Array.make n None in
+  let dead = Array.make n Entry.unreachable in
+  rows.(owner) <-
+    Some { snapshot = Snapshot.create ~owner dead; received_at = neg_infinity };
+  { n; owner; rows }
+
+let n t = t.n
+let owner t = t.owner
+
+let check_size t snapshot =
+  if Snapshot.size snapshot <> t.n then
+    invalid_arg "Table: snapshot size differs from table size"
+
+let set_own_row t snapshot ~now =
+  check_size t snapshot;
+  if Snapshot.owner snapshot <> t.owner then
+    invalid_arg "Table.set_own_row: snapshot not owned by table owner";
+  t.rows.(t.owner) <- Some { snapshot; received_at = now }
+
+let ingest t snapshot ~now =
+  check_size t snapshot;
+  let id = Snapshot.owner snapshot in
+  match t.rows.(id) with
+  | Some { received_at; _ } when received_at > now -> ()
+  | Some _ | None -> t.rows.(id) <- Some { snapshot; received_at = now }
+
+let row t i = Option.map (fun r -> r.snapshot) t.rows.(i)
+
+let row_age t i ~now = Option.map (fun r -> now -. r.received_at) t.rows.(i)
+
+let fresh_row t i ~now ~max_age =
+  match t.rows.(i) with
+  | Some r when now -. r.received_at <= max_age -> Some r.snapshot
+  | Some _ | None -> None
+
+let drop_row t i = if i <> t.owner then t.rows.(i) <- None
+
+let known_rows t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.rows.(i) <> None then acc := i :: !acc
+  done;
+  !acc
+
+let anyone_reaches t dst =
+  Array.exists
+    (function
+      | Some { snapshot; _ } ->
+          Snapshot.owner snapshot <> dst && Snapshot.reaches snapshot dst
+      | None -> false)
+    t.rows

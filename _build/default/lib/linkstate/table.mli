@@ -1,0 +1,53 @@
+(** The partial [n x n] link-state table a node maintains (Section 5).
+
+    Row [i] holds the most recent snapshot received from node [i] (for a
+    rendezvous server: its clients' announcements; for the full-mesh
+    baseline: everyone's), stamped with its arrival time.  The owner's own
+    row is written directly by the link monitor.
+
+    A rendezvous server only uses rows received within the last
+    [3 * routing_interval] (the paper's staleness window, chosen for
+    redundancy against lost announcements); [fresh_row] implements that
+    cut-off. *)
+
+open Apor_util
+
+type t
+
+val create : n:int -> owner:Nodeid.t -> t
+(** All rows initially absent except the owner's, which starts with every
+    link dead (nothing probed yet). *)
+
+val n : t -> int
+
+val owner : t -> Nodeid.t
+
+val set_own_row : t -> Snapshot.t -> now:float -> unit
+(** Install the owner's current measurements.
+    @raise Invalid_argument when the snapshot's owner or size mismatch. *)
+
+val ingest : t -> Snapshot.t -> now:float -> unit
+(** Store a snapshot received from the network in its owner's row,
+    replacing any older one.  Ignores snapshots older than the stored one
+    (out-of-order delivery).
+    @raise Invalid_argument on a size mismatch. *)
+
+val row : t -> Nodeid.t -> Snapshot.t option
+(** Latest snapshot from node [i], regardless of age. *)
+
+val row_age : t -> Nodeid.t -> now:float -> float option
+(** Seconds since row [i] was received. *)
+
+val fresh_row : t -> Nodeid.t -> now:float -> max_age:float -> Snapshot.t option
+(** [row] filtered by the staleness window. *)
+
+val drop_row : t -> Nodeid.t -> unit
+(** Forget node [i]'s row (membership departure). *)
+
+val known_rows : t -> Nodeid.t list
+(** Ids with a stored row, ascending. *)
+
+val anyone_reaches : t -> Nodeid.t -> bool
+(** Does any stored row report a live link to [dst]?  This is the
+    dead-destination check of Section 4.1: when none of a node's clients
+    can reach [dst], further failover for [dst] is pointless. *)

@@ -1,0 +1,74 @@
+let entry_bytes = 3
+let recommendation_bytes = 4
+
+let dead_latency = 0xFFFF
+let dead_loss = 0xFF
+
+let put_u16 b off v =
+  Bytes.set_uint8 b off ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b (off + 1) (v land 0xFF)
+
+let get_u16 b off = (Bytes.get_uint8 b off lsl 8) lor Bytes.get_uint8 b (off + 1)
+
+let encode_entry b off (e : Entry.t) =
+  if not e.alive then begin
+    put_u16 b off dead_latency;
+    Bytes.set_uint8 b (off + 2) dead_loss
+  end
+  else begin
+    let latency = min Entry.max_latency_ms (int_of_float (Float.round e.latency_ms)) in
+    let loss = min 254 (int_of_float (Float.round (e.loss *. 254.))) in
+    put_u16 b off latency;
+    Bytes.set_uint8 b (off + 2) loss
+  end
+
+let decode_entry b off =
+  let latency = get_u16 b off in
+  let loss = Bytes.get_uint8 b (off + 2) in
+  if latency = dead_latency || loss = dead_loss then Entry.unreachable
+  else
+    Entry.make
+      ~latency_ms:(float_of_int latency)
+      ~loss:(float_of_int loss /. 254.)
+      ~alive:true
+
+let encode_entries entries =
+  let b = Bytes.create (entry_bytes * Array.length entries) in
+  Array.iteri (fun i e -> encode_entry b (i * entry_bytes) e) entries;
+  b
+
+let decode_entries b =
+  let len = Bytes.length b in
+  if len mod entry_bytes <> 0 then
+    Error (Printf.sprintf "link-state payload length %d not a multiple of %d" len entry_bytes)
+  else Ok (Array.init (len / entry_bytes) (fun i -> decode_entry b (i * entry_bytes)))
+
+let check_id id =
+  if id < 0 || id > 0xFFFF then invalid_arg "Wire: node id outside 16-bit range"
+
+let encode_recommendations recs =
+  let b = Bytes.create (recommendation_bytes * List.length recs) in
+  List.iteri
+    (fun i (dst, hop) ->
+      check_id dst;
+      check_id hop;
+      put_u16 b (i * recommendation_bytes) dst;
+      put_u16 b ((i * recommendation_bytes) + 2) hop)
+    recs;
+  b
+
+let decode_recommendations b =
+  let len = Bytes.length b in
+  if len mod recommendation_bytes <> 0 then
+    Error
+      (Printf.sprintf "recommendation payload length %d not a multiple of %d" len
+         recommendation_bytes)
+  else
+    Ok
+      (List.init (len / recommendation_bytes) (fun i ->
+           (get_u16 b (i * recommendation_bytes), get_u16 b ((i * recommendation_bytes) + 2))))
+
+let roundtrip_entry e =
+  let b = Bytes.create entry_bytes in
+  encode_entry b 0 e;
+  decode_entry b 0

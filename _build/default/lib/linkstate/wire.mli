@@ -1,0 +1,36 @@
+(** Compact wire codecs for routing messages (Section 5, "Table Exchange").
+
+    - a link-state table entry is 3 bytes: 16-bit big-endian latency in
+      milliseconds (0xFFFF marks a dead link) and one liveness/loss byte
+      (0xFF dead, otherwise loss quantized in 1/254 steps);
+    - a best-hop recommendation is 4 bytes: two 16-bit node ids
+      (destination, one-hop intermediary; hop = destination encodes "take
+      the direct path").
+
+    Decoding is total over well-formed input and rejects truncated or
+    trailing bytes with [Error], never an exception: link-state packets
+    arrive from the (simulated) network. *)
+
+open Apor_util
+
+val entry_bytes : int
+(** 3. *)
+
+val recommendation_bytes : int
+(** 4. *)
+
+val encode_entries : Entry.t array -> bytes
+(** [3 * n] bytes.  Entries are quantized by encoding. *)
+
+val decode_entries : bytes -> (Entry.t array, string) result
+(** Inverse of [encode_entries]; fails on lengths not divisible by 3. *)
+
+val encode_recommendations : (Nodeid.t * Nodeid.t) list -> bytes
+(** [(dst, hop)] pairs; [4 * length] bytes.
+    @raise Invalid_argument for ids outside the 16-bit range. *)
+
+val decode_recommendations : bytes -> ((Nodeid.t * Nodeid.t) list, string) result
+
+val roundtrip_entry : Entry.t -> Entry.t
+(** [decode (encode e)] for one entry — the quantization the network
+    applies; equals {!Entry.quantize}. *)

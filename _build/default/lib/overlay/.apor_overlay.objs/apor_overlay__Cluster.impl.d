@@ -1,0 +1,1 @@
+lib/overlay/cluster.ml: Apor_sim Apor_util Array Config Coordinator Engine Fun Hashtbl List Message Network Node Option Printf Rng Traffic View

@@ -1,0 +1,1 @@
+lib/overlay/cluster.mli: Apor_sim Config Engine Message Network Node Traffic

@@ -1,0 +1,1 @@
+lib/overlay/config.ml: Apor_linkstate Metric Result

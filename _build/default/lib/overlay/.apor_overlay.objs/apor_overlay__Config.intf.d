@@ -1,0 +1,1 @@
+lib/overlay/config.mli: Apor_linkstate Metric

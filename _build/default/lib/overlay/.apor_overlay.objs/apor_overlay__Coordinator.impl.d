@@ -1,0 +1,1 @@
+lib/overlay/coordinator.ml: Hashtbl Int List Message

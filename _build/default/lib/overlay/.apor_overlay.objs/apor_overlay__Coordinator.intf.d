@@ -1,0 +1,1 @@
+lib/overlay/coordinator.mli: Message

@@ -1,0 +1,1 @@
+lib/overlay/message.ml: Apor_linkstate Apor_sim Apor_util Format List Nodeid Overhead Snapshot Traffic

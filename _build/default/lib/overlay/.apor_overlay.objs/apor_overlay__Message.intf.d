@@ -1,0 +1,1 @@
+lib/overlay/message.mli: Apor_linkstate Apor_sim Apor_util Format Nodeid Snapshot Traffic

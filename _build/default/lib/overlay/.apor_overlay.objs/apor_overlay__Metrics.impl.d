@@ -1,0 +1,1 @@
+lib/overlay/metrics.ml: Apor_sim Apor_util Array Cluster Engine List Monitor Node Stats

@@ -1,0 +1,1 @@
+lib/overlay/metrics.mli: Cluster

@@ -1,0 +1,1 @@
+lib/overlay/monitor.ml: Apor_linkstate Apor_util Array Config Entry Ewma Float List Option Rng

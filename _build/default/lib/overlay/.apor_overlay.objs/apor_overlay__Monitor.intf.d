@@ -1,0 +1,1 @@
+lib/overlay/monitor.mli: Apor_linkstate Apor_util Config Entry Rng

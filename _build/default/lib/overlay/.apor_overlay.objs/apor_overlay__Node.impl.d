@@ -1,0 +1,1 @@
+lib/overlay/node.ml: Apor_util Array Config List Message Monitor Rng Router Router_fullmesh View

@@ -1,0 +1,1 @@
+lib/overlay/node.mli: Apor_util Config Message Monitor Router View

@@ -1,0 +1,1 @@
+lib/overlay/router.ml: Apor_core Apor_linkstate Apor_quorum Apor_util Array Best_hop Config Entry Failover Float Grid Hashtbl List Message Monitor Nodeid Option Rng Snapshot Table View

@@ -1,0 +1,1 @@
+lib/overlay/router.mli: Apor_util Config Message Monitor Rng View

@@ -1,0 +1,1 @@
+lib/overlay/router_fullmesh.ml: Apor_core Apor_linkstate Apor_util Array Best_hop Config Entry Float Message Monitor Nodeid Option Rng Snapshot Table View

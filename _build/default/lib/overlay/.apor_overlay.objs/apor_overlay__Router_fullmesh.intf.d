@@ -1,0 +1,1 @@
+lib/overlay/router_fullmesh.mli: Apor_util Config Message Monitor View

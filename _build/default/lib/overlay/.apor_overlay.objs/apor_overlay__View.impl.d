@@ -1,0 +1,1 @@
+lib/overlay/view.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/overlay/view.mli: Apor_util Nodeid

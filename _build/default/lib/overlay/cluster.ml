@@ -1,0 +1,134 @@
+open Apor_util
+open Apor_sim
+
+type membership = Static | Coordinator of { rtt_ms : float }
+
+type t = {
+  config : Config.t;
+  n : int;
+  engine : Message.t Engine.t;
+  nodes : Node.t array;
+  coordinator : Coordinator.t option;
+  coordinator_port : int option;
+  mutable next_data_id : int;
+  deliveries : (int, float) Hashtbl.t; (* data packet id -> delivery time *)
+}
+
+let pad_matrix m extra ~fill =
+  let n = Array.length m in
+  Array.init (n + extra) (fun i ->
+      Array.init (n + extra) (fun j ->
+          if i = j then 0.
+          else if i < n && j < n then m.(i).(j)
+          else fill))
+
+let create ~config ~rtt_ms ?loss ?(membership = Static) ~seed () =
+  let n = Array.length rtt_ms in
+  if n < 2 then invalid_arg "Cluster.create: need at least two nodes";
+  let with_coordinator, coordinator_rtt =
+    match membership with
+    | Static -> (false, 0.)
+    | Coordinator { rtt_ms } -> (true, rtt_ms)
+  in
+  let extra = if with_coordinator then 1 else 0 in
+  let rtt_full = pad_matrix rtt_ms extra ~fill:coordinator_rtt in
+  let loss_full = Option.map (fun l -> pad_matrix l extra ~fill:0.) loss in
+  let network = Network.create ~rtt_ms:rtt_full ?loss:loss_full ~seed () in
+  let engine = Engine.create ~network in
+  let root = Rng.make ~seed in
+  let coordinator_port = if with_coordinator then Some n else None in
+  let send_from src_port ~dst_port msg =
+    Engine.send engine ~cls:(Message.cls msg) ~src:src_port ~dst:dst_port
+      ~bytes:(Message.size_bytes msg) msg
+  in
+  let deliveries = Hashtbl.create 256 in
+  let nodes =
+    Array.init n (fun port ->
+        Node.create ~config ~port ~capacity:(n + extra) ?coordinator_port
+          ~rng:(Rng.split root (Printf.sprintf "node.%d" port))
+          {
+            Node.now = (fun () -> Engine.now engine);
+            send = (fun ~dst_port msg -> send_from port ~dst_port msg);
+            schedule = (fun ~delay f -> Engine.schedule engine ~delay f);
+            deliver_data =
+              (fun ~id ~origin:_ ->
+                if not (Hashtbl.mem deliveries id) then
+                  Hashtbl.replace deliveries id (Engine.now engine));
+          })
+  in
+  let coordinator =
+    if with_coordinator then
+      Some
+        (Coordinator.create ~self_port:n
+           ~member_timeout_s:config.Config.membership_refresh_s
+           {
+             Coordinator.now = (fun () -> Engine.now engine);
+             send = (fun ~dst_port msg -> send_from n ~dst_port msg);
+             schedule = (fun ~delay f -> Engine.schedule engine ~delay f);
+           })
+    else None
+  in
+  Engine.set_handler engine (fun ~dst ~src msg ->
+      if dst < n then Node.handle_message nodes.(dst) ~src_port:src msg
+      else begin
+        match coordinator with
+        | Some c -> Coordinator.handle_message c ~src_port:src msg
+        | None -> ()
+      end);
+  { config; n; engine; nodes; coordinator; coordinator_port; next_data_id = 0; deliveries }
+
+let n t = t.n
+let engine t = t.engine
+let network t = Engine.network t.engine
+let traffic t = Engine.traffic t.engine
+
+let node t port =
+  if port < 0 || port >= t.n then invalid_arg "Cluster.node: port out of range";
+  t.nodes.(port)
+
+let coordinator_port t = t.coordinator_port
+
+let start t =
+  (match t.coordinator with Some c -> Coordinator.start_expiry c | None -> ());
+  Array.iter Node.start t.nodes;
+  if t.coordinator = None then begin
+    (* Static membership: everyone gets the full view immediately. *)
+    let members = List.init t.n Fun.id in
+    let view = View.create ~version:1 ~members in
+    Array.iter (fun node -> Node.install_view node view) t.nodes
+  end
+
+let run_until t horizon = Engine.run_until t.engine horizon
+let now t = Engine.now t.engine
+
+let best_hop t ~src ~dst = Node.best_hop (node t src) ~dst_port:dst
+let freshness t ~src ~dst = Node.freshness (node t src) ~dst_port:dst
+
+let routing_kbps t ~node:port ~t0 ~t1 =
+  Traffic.kbps (traffic t) ~classes:[ Traffic.Routing ] ~node:port ~t0 ~t1
+
+let routing_max_window_kbps t ~node:port ~window ~t0 ~t1 =
+  Traffic.max_window_kbps (traffic t) ~classes:[ Traffic.Routing ] ~node:port ~window
+    ~t0 ~t1
+
+let total_kbps t ~node:port ~t0 ~t1 =
+  Traffic.kbps (traffic t) ~classes:Traffic.all_classes ~node:port ~t0 ~t1
+
+let fresh_data_id t =
+  let id = t.next_data_id in
+  t.next_data_id <- id + 1;
+  id
+
+let send_data t ~src ~dst =
+  let id = fresh_data_id t in
+  Node.send_data (node t src) ~dst_port:dst ~id;
+  id
+
+let send_data_direct t ~src ~dst =
+  if dst < 0 || dst >= t.n then invalid_arg "Cluster.send_data_direct: dst out of range";
+  let id = fresh_data_id t in
+  let msg = Message.Data { id; origin = src; dst; ttl = 0 } in
+  Engine.send t.engine ~cls:(Message.cls msg) ~src ~dst ~bytes:(Message.size_bytes msg) msg;
+  id
+
+let data_delivered_at t id = Hashtbl.find_opt t.deliveries id

@@ -1,0 +1,80 @@
+(** A whole overlay on a simulated network: the in-system emulation of
+    Section 6.
+
+    Builds the network, engine, nodes and (optionally) the membership
+    coordinator, wires message dispatch, and exposes the queries the
+    benches sample.  With [`Static] membership every node receives the
+    full member view at time zero and no coordinator exists — the
+    steady-state configuration all the paper's measurements run in.  With
+    [`Coordinator] an extra node (port [n]) runs the membership service
+    and nodes execute the join protocol. *)
+
+open Apor_sim
+
+type membership = Static | Coordinator of { rtt_ms : float }
+
+type t
+
+val create :
+  config:Config.t ->
+  rtt_ms:float array array ->
+  ?loss:float array array ->
+  ?membership:membership ->
+  seed:int ->
+  unit ->
+  t
+(** [rtt_ms]/[loss] cover the [n] overlay nodes; with a coordinator the
+    network gains one extra endpoint whose links have the given RTT and no
+    loss. @raise Invalid_argument on malformed matrices. *)
+
+val n : t -> int
+(** Number of overlay nodes (excluding any coordinator). *)
+
+val engine : t -> Message.t Engine.t
+
+val network : t -> Network.t
+
+val traffic : t -> Traffic.t
+
+val node : t -> int -> Node.t
+(** @raise Invalid_argument for an out-of-range port. *)
+
+val coordinator_port : t -> int option
+
+val start : t -> unit
+(** Start every node (and the coordinator's lease sweep). *)
+
+val run_until : t -> float -> unit
+
+val now : t -> float
+
+val best_hop : t -> src:int -> dst:int -> int option
+
+val freshness : t -> src:int -> dst:int -> float option
+
+val routing_kbps : t -> node:int -> t0:float -> t1:float -> float
+(** Routing traffic only (link-state + recommendations), in + out — the
+    quantity Figures 9 and 10 plot. *)
+
+val routing_max_window_kbps : t -> node:int -> window:float -> t0:float -> t1:float -> float
+
+val total_kbps : t -> node:int -> t0:float -> t1:float -> float
+(** All classes: probing + routing + membership + data. *)
+
+(** {1 Data plane}
+
+    Best-effort application packets riding the overlay's one-hop routes —
+    what the routing machinery exists for.  Used by the availability
+    experiment comparing direct Internet paths against overlay paths under
+    failures. *)
+
+val send_data : t -> src:int -> dst:int -> int
+(** Originate a packet at [src] addressed to [dst], forwarded along best
+    hops; returns its id. *)
+
+val send_data_direct : t -> src:int -> dst:int -> int
+(** Send a packet over the direct virtual link only (no overlay routing):
+    the baseline a non-overlay application gets. *)
+
+val data_delivered_at : t -> int -> float option
+(** Virtual time a packet reached its destination, if it did. *)

@@ -1,0 +1,31 @@
+(** The centralized membership service (Section 5).
+
+    One coordinator node records joins and leaves and pushes the full
+    sorted member list, tagged with a monotonically increasing version, to
+    every member whenever it changes.  Members that fail to refresh within
+    the membership timeout (30 minutes in the paper) are expired.  The
+    paper deliberately keeps this component simple — transient failures
+    are the routing layer's job, not the membership layer's. *)
+
+type callbacks = {
+  now : unit -> float;
+  send : dst_port:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+}
+
+type t
+
+val create : self_port:int -> ?member_timeout_s:float -> callbacks -> t
+(** Default timeout: 1800 s. *)
+
+val handle_message : t -> src_port:int -> Message.t -> unit
+(** Consumes [Join] and [Leave]; re-broadcasts views on change.  A [Join]
+    from a known member refreshes its lease without a broadcast. *)
+
+val members : t -> int list
+(** Currently registered ports, sorted. *)
+
+val version : t -> int
+
+val start_expiry : t -> unit
+(** Begin the periodic lease-expiry sweep. *)

@@ -1,0 +1,49 @@
+open Apor_util
+open Apor_linkstate
+open Apor_sim
+
+type t =
+  | Probe of { seq : int }
+  | Probe_reply of { seq : int }
+  | Link_state of { view : int; snapshot : Snapshot.t }
+  | Recommend of { view : int; entries : (Nodeid.t * Nodeid.t) list }
+  | Join of { port : int }
+  | Leave of { port : int }
+  | View of { version : int; members : Nodeid.t list }
+  | Data of { id : int; origin : Nodeid.t; dst : Nodeid.t; ttl : int }
+  | Relay of { origin : Nodeid.t; target : Nodeid.t; inner : t }
+
+let data_payload_bytes = 64
+
+let rec size_bytes = function
+  | Probe _ | Probe_reply _ -> Overhead.probe_bytes
+  | Link_state { snapshot; _ } -> Overhead.header_bytes + Snapshot.payload_bytes snapshot
+  | Recommend { entries; _ } ->
+      Overhead.recommendation_message_bytes ~entries:(List.length entries)
+  | Join _ | Leave _ -> Overhead.membership_request_bytes
+  | View { members; _ } -> Overhead.membership_view_bytes ~n:(List.length members)
+  | Data _ -> Overhead.header_bytes + data_payload_bytes
+  | Relay { inner; _ } -> Overhead.header_bytes + size_bytes inner
+
+let rec cls = function
+  | Probe _ | Probe_reply _ -> Traffic.Probe
+  | Link_state _ | Recommend _ -> Traffic.Routing
+  | Join _ | Leave _ | View _ -> Traffic.Membership
+  | Data _ -> Traffic.Data
+  | Relay { inner; _ } -> cls inner
+
+let rec pp ppf = function
+  | Probe { seq } -> Format.fprintf ppf "probe#%d" seq
+  | Probe_reply { seq } -> Format.fprintf ppf "probe-reply#%d" seq
+  | Link_state { view; snapshot } ->
+      Format.fprintf ppf "link-state(view=%d, owner=%d)" view (Snapshot.owner snapshot)
+  | Recommend { view; entries } ->
+      Format.fprintf ppf "recommend(view=%d, %d entries)" view (List.length entries)
+  | Join { port } -> Format.fprintf ppf "join(%d)" port
+  | Leave { port } -> Format.fprintf ppf "leave(%d)" port
+  | View { version; members } ->
+      Format.fprintf ppf "view(v%d, %d members)" version (List.length members)
+  | Data { id; origin; dst; ttl } ->
+      Format.fprintf ppf "data#%d(%d->%d, ttl=%d)" id origin dst ttl
+  | Relay { origin; target; inner } ->
+      Format.fprintf ppf "relay(%d=>%d, %a)" origin target pp inner

@@ -1,0 +1,47 @@
+(** Overlay wire messages and their byte accounting.
+
+    Sizes follow Section 5's compact representation via
+    {!Apor_linkstate.Overhead}; the simulator charges [size_bytes] to both
+    endpoints, which is what makes the measured bandwidth comparable to the
+    paper's closed-form expressions. *)
+
+open Apor_util
+open Apor_linkstate
+open Apor_sim
+
+type t =
+  | Probe of { seq : int }
+  | Probe_reply of { seq : int }
+  | Link_state of { view : int; snapshot : Snapshot.t }
+      (** Round one.  [view] is the membership version the sender's grid
+          was built from; receivers ignore announcements from other views. *)
+  | Recommend of { view : int; entries : (Nodeid.t * Nodeid.t) list }
+      (** Round two: [(destination, best hop)] pairs. *)
+  | Join of { port : int }
+      (** Membership: registration/refresh at the coordinator.  [port]
+          is the joiner's overlay address (its network index). *)
+  | Leave of { port : int }
+  | View of { version : int; members : Nodeid.t list }
+      (** Coordinator broadcast: the full member list, sorted. *)
+  | Data of { id : int; origin : Nodeid.t; dst : Nodeid.t; ttl : int }
+      (** An application packet riding the overlay: forwarded along best
+          hops until it reaches [dst] or [ttl] runs out. *)
+  | Relay of { origin : Nodeid.t; target : Nodeid.t; inner : t }
+      (** Footnote 8 of the paper: a routing message sent through a
+          temporary one-hop intermediary when the direct link to a
+          rendezvous server/client has failed.  The intermediary forwards
+          [inner] to [target]; the receiver processes it as if it came
+          from [origin]. *)
+
+val data_payload_bytes : int
+(** Synthetic application payload size (64 bytes — a VoIP-frame-sized
+    packet). *)
+
+val size_bytes : t -> int
+
+val cls : t -> Traffic.cls
+(** Traffic class for bandwidth accounting: probes vs routing vs
+    membership, so the benches can report "routing traffic" exactly as the
+    paper does. *)
+
+val pp : Format.formatter -> t -> unit

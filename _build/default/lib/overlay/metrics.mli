@@ -1,0 +1,62 @@
+(** Periodic samplers over a running cluster — the measurement
+    infrastructure behind the deployment figures.
+
+    Each sampler schedules itself on the cluster's engine and accumulates
+    samples between [t0] and [t1]; results are read after the run.
+
+    - {!Freshness}: every 30 s, for every (src, dst) pair, the time since
+      src last received a best-hop recommendation for dst (Figures 12–14);
+    - {!Failures}: every 60 s, per node, the number of destinations
+      currently unreachable via the direct path per the node's own probes
+      (Figure 8);
+    - {!Double_failures}: every 60 s, per node, the number of destinations
+      whose default rendezvous servers have all failed (Figure 11). *)
+
+type per_pair = {
+  src : int;
+  dst : int;
+  median : float;
+  average : float;
+  p97 : float;
+  max : float;
+}
+
+module Freshness : sig
+  type t
+
+  val install : cluster:Cluster.t -> ?interval:float -> t0:float -> t1:float -> unit -> t
+  (** Default interval 30 s.  Pairs with no recommendation yet are recorded
+      as the time since sampling began (a conservative upper bound, and the
+      natural reading of "time since last recommendation" at startup). *)
+
+  val samples : t -> src:int -> dst:int -> float list
+  (** Raw samples for one pair, oldest first. *)
+
+  val per_pair_summaries : t -> per_pair list
+  (** One summary per ordered pair with at least one sample. *)
+
+  val per_destination_summaries : t -> src:int -> per_pair list
+  (** Summaries for a fixed source (Figures 13/14). *)
+end
+
+module Failures : sig
+  type t
+
+  val install : cluster:Cluster.t -> ?interval:float -> t0:float -> t1:float -> unit -> t
+  (** Default interval 60 s. *)
+
+  val mean_per_node : t -> float array
+  (** Mean concurrent-failure count per node over the sampled intervals. *)
+
+  val max_per_node : t -> float array
+end
+
+module Double_failures : sig
+  type t
+
+  val install : cluster:Cluster.t -> ?interval:float -> t0:float -> t1:float -> unit -> t
+
+  val mean_per_node : t -> float array
+
+  val max_per_node : t -> float array
+end

@@ -1,0 +1,57 @@
+(** Link monitoring (Section 5): per-peer probing, EWMA latency, loss
+    estimation and failure detection.
+
+    Each peer is probed once per probing interval with an independent
+    random phase.  After a first lost probe the cadence switches to the
+    rapid interval (RON's rapid failure detection), so
+    [probes_for_failure] consecutive losses — the declaration of link
+    failure — fit within roughly one probing interval.  A dead peer keeps
+    being probed at the normal cadence and is resurrected by any reply.
+
+    The monitor works in {e port} space and survives membership changes;
+    only the set of actively probed peers is updated. *)
+
+open Apor_util
+open Apor_linkstate
+
+type callbacks = {
+  now : unit -> float;
+  send_probe : dst:int -> seq:int -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  on_peer_death : int -> unit;   (** proximal failure declared *)
+  on_peer_recovery : int -> unit;
+}
+
+type t
+
+val create : config:Config.t -> self:int -> capacity:int -> rng:Rng.t -> callbacks -> t
+(** [capacity] bounds the port numbers that may ever be probed. *)
+
+val set_peers : t -> int list -> unit
+(** Start probing any new peers (with random phase) and stop probing
+    removed ones.  Latency history of re-added peers is retained. *)
+
+val peers : t -> int list
+
+val handle_reply : t -> src:int -> seq:int -> unit
+(** Feed a probe reply back in; unsolicited or duplicate replies are
+    ignored. *)
+
+val alive : t -> int -> bool
+(** Current liveness verdict for a peer ([true] until proven dead). *)
+
+val latency_ms : t -> int -> float option
+(** EWMA latency, [None] before the first sample. *)
+
+val loss : t -> int -> float
+(** EWMA loss estimate in [0, 1] ([0.] before the first sample). *)
+
+val entry_for : t -> int -> Entry.t
+(** The link-state entry describing the link to a peer: dead when the
+    peer is dead {e or never measured}, otherwise the current EWMA
+    latency and loss. *)
+
+val concurrent_failures : t -> int
+(** Number of actively probed peers currently considered dead — the
+    quantity Figure 8 plots per node.  Peers never yet measured don't
+    count: the paper counts probed-and-lost destinations. *)

@@ -1,0 +1,62 @@
+(** One overlay node: link monitor + router + membership client.
+
+    The node is transport-agnostic — it talks to the world through three
+    callbacks (clock, send, timer) that the {!Cluster} wires to the
+    simulator.  Port numbers are its addresses; rank-space bookkeeping is
+    internal to the router. *)
+
+type callbacks = {
+  now : unit -> float;
+  send : dst_port:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  deliver_data : id:int -> origin:int -> unit;
+      (** an application packet addressed to this node arrived *)
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  port:int ->
+  capacity:int ->
+  ?coordinator_port:int ->
+  rng:Apor_util.Rng.t ->
+  callbacks ->
+  t
+(** [capacity] is the largest port + 1 ever addressable (sizes the monitor).
+    With a [coordinator_port], [start] runs the join protocol; without one
+    the node waits for {!install_view}. *)
+
+val port : t -> int
+
+val start : t -> unit
+(** Start probing/routing loops and (if configured) join the overlay. *)
+
+val leave : t -> unit
+(** Announce departure to the coordinator (no-op in static mode). *)
+
+val install_view : t -> View.t -> unit
+(** Static-membership entry point: install a view directly, as if the
+    coordinator had pushed it. *)
+
+val handle_message : t -> src_port:int -> Message.t -> unit
+
+val current_view : t -> View.t option
+
+val monitor : t -> Monitor.t
+
+val quorum_router : t -> Router.t option
+(** The quorum router, when [config.algorithm = Quorum]. *)
+
+val best_hop : t -> dst_port:int -> int option
+(** Next-hop port for reaching [dst] ([= dst] for the direct path). *)
+
+val send_data : t -> dst_port:int -> id:int -> unit
+(** Originate an application packet: it is forwarded hop by hop along the
+    current best one-hop routes (TTL-guarded) and [deliver_data] fires at
+    the destination.  Best-effort: dead ends and lost packets vanish. *)
+
+val freshness : t -> dst_port:int -> float option
+
+val double_rendezvous_failure_count : t -> int
+(** 0 for the full-mesh algorithm, which has no rendezvous to fail. *)

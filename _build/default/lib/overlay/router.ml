@@ -1,0 +1,508 @@
+open Apor_util
+open Apor_quorum
+open Apor_linkstate
+open Apor_core
+
+type callbacks = {
+  now : unit -> float;
+  send : dst_port:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+}
+
+type route = { hop : Nodeid.t; received_at : float; via_port : int }
+
+type failover_episode = {
+  server : Nodeid.t;     (* rank of the failover rendezvous in use *)
+  since : float;
+  tried : Nodeid.Set.t;  (* ranks already tried this episode *)
+}
+
+(* All per-view routing state; rebuilt wholesale on membership change. *)
+type ctx = {
+  view : View.t;
+  grid : Grid.t;
+  self : Nodeid.t; (* own rank *)
+  table : Table.t;
+  routes : route option array;
+  rec_last : float array; (* last recommendation time per destination rank *)
+  rec_pair : (int, float) Hashtbl.t; (* server rank * m + dst rank -> time *)
+  mutable failover : failover_episode Nodeid.Map.t; (* per destination rank *)
+  mutable suspected_dead : Nodeid.Set.t;
+  created_at : float;
+}
+
+type t = {
+  config : Config.t;
+  self_port : int;
+  rng : Rng.t;
+  monitor : Monitor.t;
+  cb : callbacks;
+  mutable ctx : ctx option;
+  mutable started : bool;
+}
+
+let create ~config ~self_port ~rng ~monitor cb =
+  { config; self_port; rng; monitor; cb; ctx = None; started = false }
+
+let view t = Option.map (fun c -> c.view) t.ctx
+
+let staleness t = float_of_int t.config.staleness_windows *. t.config.routing_interval_s
+let remote_timeout t = t.config.remote_failure_factor *. t.config.routing_interval_s
+
+(* No failover (or failure bookkeeping) until the first full measurement and
+   routing cycle has had a chance to complete: worst-case probe phase plus
+   two announce/recommend cycles, with slack for propagation. *)
+let warmup t = t.config.probe_interval_s +. (4. *. t.config.routing_interval_s)
+
+let pair_key ctx server dst = (server * View.size ctx.view) + dst
+
+let set_view t v =
+  let stale =
+    match t.ctx with
+    | Some ctx -> View.version ctx.view >= View.version v
+    | None -> false
+  in
+  if not stale then begin
+    match View.rank_of_port v t.self_port with
+    | None -> t.ctx <- None (* we are not a member of this view *)
+    | Some self ->
+        let m = View.size v in
+        t.ctx <-
+          Some
+            {
+              view = v;
+              grid = Grid.build m;
+              self;
+              table = Table.create ~n:m ~owner:self;
+              routes = Array.make m None;
+              rec_last = Array.make m neg_infinity;
+              rec_pair = Hashtbl.create 64;
+              failover = Nodeid.Map.empty;
+              suspected_dead = Nodeid.Set.empty;
+              created_at = t.cb.now ();
+            }
+  end
+
+(* --- helpers over a context ------------------------------------------- *)
+
+let make_snapshot t ctx =
+  let m = View.size ctx.view in
+  let entries =
+    Array.init m (fun rank ->
+        if rank = ctx.self then Entry.self
+        else Monitor.entry_for t.monitor (View.port_of_rank ctx.view rank))
+  in
+  Snapshot.create ~owner:ctx.self entries
+
+(* The default rendezvous servers connecting us to [dst]: common rendezvous
+   of the pair, excluding ourselves and the destination (we track those two
+   separately — we compute locally for our own clients, and the destination
+   serving us is just the direct announcement). *)
+let default_connecting ctx dst =
+  Grid.connecting ctx.grid ctx.self dst
+  |> List.filter (fun k -> k <> ctx.self && k <> dst)
+
+let proximally_dead t ctx rank =
+  rank <> ctx.self && not (Monitor.alive t.monitor (View.port_of_rank ctx.view rank))
+
+(* A rendezvous server [k] has failed with respect to destination [dst] if
+   we cannot reach it (proximal) or it has stopped recommending routes to
+   [dst] (remote, Section 4.1).  With footnote-8 relaying enabled a dead
+   direct link no longer severs the exchange, so only recommendation
+   silence counts. *)
+let failed_wrt t ctx ~now k dst =
+  ((not t.config.relay_link_state) && proximally_dead t ctx k)
+  ||
+  let last =
+    match Hashtbl.find_opt ctx.rec_pair (pair_key ctx k dst) with
+    | Some time -> time
+    | None -> ctx.created_at
+  in
+  now -. last > remote_timeout t
+
+(* Has the pair (self, dst) lost *every* connecting rendezvous?  Three ways
+   a pair stays connected: a third-party common rendezvous still works; dst
+   itself is one of our rendezvous servers and its recommendations still
+   flow; or dst is our client and we hold a fresh copy of its table
+   (we compute locally).  Only when all fail is this the paper's "double
+   rendezvous failure". *)
+let pair_failed t ctx ~now dst =
+  let third_party_ok =
+    List.exists (fun k -> not (failed_wrt t ctx ~now k dst)) (default_connecting ctx dst)
+  in
+  third_party_ok = false
+  && (not
+        (Grid.is_rendezvous_for ctx.grid ~server:dst ~client:ctx.self
+        && not (failed_wrt t ctx ~now dst dst)))
+  && not
+       (Grid.is_rendezvous_for ctx.grid ~server:ctx.self ~client:dst
+       && Table.fresh_row ctx.table dst ~now ~max_age:(staleness t) <> None)
+
+let dst_alive_evidence t ctx ~now dst =
+  Monitor.alive t.monitor (View.port_of_rank ctx.view dst)
+  ||
+  let m = View.size ctx.view in
+  let rec scan rank =
+    if rank >= m then false
+    else if rank <> dst && rank <> ctx.self then begin
+      match Table.fresh_row ctx.table rank ~now ~max_age:(staleness t) with
+      | Some row when Snapshot.reaches row dst -> true
+      | Some _ | None -> scan (rank + 1)
+    end
+    else scan (rank + 1)
+  in
+  scan 0
+
+(* Footnote 8: when our link to [rank] is down, pick a live client whose
+   table says it can still reach [rank] and use it as a temporary one-hop
+   for the message. *)
+let relay_hop t ctx ~now rank =
+  let m = View.size ctx.view in
+  let rec scan c =
+    if c >= m then None
+    else if c <> ctx.self && c <> rank
+            && Monitor.alive t.monitor (View.port_of_rank ctx.view c) then begin
+      match Table.fresh_row ctx.table c ~now ~max_age:(staleness t) with
+      | Some row when Snapshot.reaches row rank -> Some c
+      | Some _ | None -> scan (c + 1)
+    end
+    else scan (c + 1)
+  in
+  scan 0
+
+(* Send a routing message to [rank]: directly when the link is believed
+   alive, through a temporary one-hop when it is down and relaying is
+   enabled (footnote 8), directly (and probably lost) otherwise. *)
+let send_routed t ctx rank msg =
+  let port = View.port_of_rank ctx.view rank in
+  if Monitor.alive t.monitor port || not t.config.relay_link_state then
+    t.cb.send ~dst_port:port msg
+  else begin
+    match relay_hop t ctx ~now:(t.cb.now ()) rank with
+    | Some c ->
+        t.cb.send ~dst_port:(View.port_of_rank ctx.view c)
+          (Message.Relay { origin = t.self_port; target = port; inner = msg })
+    | None -> t.cb.send ~dst_port:port msg
+  end
+
+let announce_to t ctx rank snapshot =
+  send_routed t ctx rank (Message.Link_state { view = View.version ctx.view; snapshot })
+
+let start_failover t ctx ~now ~tried dst =
+  let excluded =
+    List.fold_left
+      (fun acc k -> if proximally_dead t ctx k then Nodeid.Set.add k acc else acc)
+      tried
+      (Grid.failover_candidates ctx.grid ~dst)
+  in
+  match Failover.choose ~rng:t.rng ctx.grid ~self:ctx.self ~dst ~excluded with
+  | Some server ->
+      ctx.failover <-
+        Nodeid.Map.add dst
+          { server; since = now; tried = Nodeid.Set.add server tried }
+          ctx.failover;
+      (* Ship our link state immediately so the failover server can serve
+         us on its very next recommendation cycle. *)
+      announce_to t ctx server (make_snapshot t ctx)
+  | None ->
+      (* Candidate pool exhausted.  Restart the episode if the destination
+         shows signs of life, otherwise conclude it is dead (Section 4.1's
+         liveness check) and stop trying. *)
+      ctx.failover <- Nodeid.Map.remove dst ctx.failover;
+      if not (dst_alive_evidence t ctx ~now dst) then
+        ctx.suspected_dead <- Nodeid.Set.add dst ctx.suspected_dead
+
+(* Failover maintenance pass: detect double rendezvous failures, babysit
+   running failover episodes, revert to defaults once they recover. *)
+let maintain t ctx ~now =
+  if now -. ctx.created_at >= warmup t then begin
+    let m = View.size ctx.view in
+    for dst = 0 to m - 1 do
+      if dst <> ctx.self then begin
+        if not (pair_failed t ctx ~now dst) then begin
+          (* Defaults recovered: drop any failover and suspicion. *)
+          if Nodeid.Map.mem dst ctx.failover then
+            ctx.failover <- Nodeid.Map.remove dst ctx.failover;
+          ctx.suspected_dead <- Nodeid.Set.remove dst ctx.suspected_dead
+        end
+        else if Nodeid.Set.mem dst ctx.suspected_dead then begin
+          if dst_alive_evidence t ctx ~now dst then begin
+            ctx.suspected_dead <- Nodeid.Set.remove dst ctx.suspected_dead;
+            start_failover t ctx ~now ~tried:Nodeid.Set.empty dst
+          end
+        end
+        else begin
+          match Nodeid.Map.find_opt dst ctx.failover with
+          | None -> start_failover t ctx ~now ~tried:Nodeid.Set.empty dst
+          | Some episode ->
+              let delivered =
+                match Hashtbl.find_opt ctx.rec_pair (pair_key ctx episode.server dst) with
+                | Some time -> now -. time <= remote_timeout t
+                | None -> false
+              in
+              if delivered then ()
+              else if now -. episode.since > remote_timeout t then begin
+                (* This failover server did not deliver a route to dst:
+                   check the destination is alive, then try the next
+                   candidate (Section 4.1). *)
+                if dst_alive_evidence t ctx ~now dst then
+                  start_failover t ctx ~now ~tried:episode.tried dst
+                else begin
+                  ctx.failover <- Nodeid.Map.remove dst ctx.failover;
+                  ctx.suspected_dead <- Nodeid.Set.add dst ctx.suspected_dead
+                end
+              end
+        end
+      end
+    done
+  end
+
+(* One routing interval's worth of work. *)
+let tick t =
+  match t.ctx with
+  | None -> ()
+  | Some ctx ->
+      let now = t.cb.now () in
+      let snapshot = make_snapshot t ctx in
+      Table.set_own_row ctx.table snapshot ~now;
+      (* Round one: announce to default servers plus active failover servers. *)
+      let failover_servers =
+        Nodeid.Map.fold (fun _ e acc -> Nodeid.Set.add e.server acc) ctx.failover
+          Nodeid.Set.empty
+      in
+      let servers =
+        List.fold_left
+          (fun acc k -> Nodeid.Set.add k acc)
+          failover_servers
+          (Grid.rendezvous_servers ctx.grid ctx.self)
+      in
+      Nodeid.Set.iter (fun k -> announce_to t ctx k snapshot) servers;
+      (* Round two, server role: recommend between every pair of clients
+         with fresh tables.  Anyone whose announcements we hold fresh is a
+         client — that uniformly covers default and failover clients. *)
+      let max_age = staleness t in
+      let fresh_ranks =
+        List.filter
+          (fun rank -> Table.fresh_row ctx.table rank ~now ~max_age <> None)
+          (Table.known_rows ctx.table)
+      in
+      let metric = t.config.metric in
+      let vectors = Hashtbl.create 32 in
+      List.iter
+        (fun rank ->
+          match Table.row ctx.table rank with
+          | Some row -> Hashtbl.replace vectors rank (Snapshot.cost_vector row metric)
+          | None -> ())
+        fresh_ranks;
+      let clients = List.filter (fun rank -> rank <> ctx.self) fresh_ranks in
+      List.iter
+        (fun i ->
+          let cost_from_src = Hashtbl.find vectors i in
+          let entries =
+            List.filter_map
+              (fun j ->
+                if j = i then None
+                else begin
+                  let choice =
+                    Best_hop.best ~src:i ~dst:j ~cost_from_src
+                      ~cost_to_dst:(Hashtbl.find vectors j)
+                  in
+                  Some (j, choice.Best_hop.hop)
+                end)
+              fresh_ranks
+          in
+          if entries <> [] then
+            send_routed t ctx i
+              (Message.Recommend { view = View.version ctx.view; entries }))
+        clients;
+      (* Section 4.2: we hold our clients' tables, so compute routes to
+         them locally (does not count as a received recommendation for the
+         freshness metrics — only real round-two messages do). *)
+      let own_vector = Snapshot.cost_vector snapshot metric in
+      List.iter
+        (fun j ->
+          let choice =
+            Best_hop.best ~src:ctx.self ~dst:j ~cost_from_src:own_vector
+              ~cost_to_dst:(Hashtbl.find vectors j)
+          in
+          if Float.is_finite choice.Best_hop.cost then
+            ctx.routes.(j) <-
+              Some { hop = choice.Best_hop.hop; received_at = now; via_port = t.self_port })
+        clients;
+      maintain t ctx ~now
+
+let rec tick_loop t () =
+  if t.started then begin
+    tick t;
+    t.cb.schedule ~delay:t.config.routing_interval_s (tick_loop t)
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    let phase = Rng.float t.rng t.config.routing_interval_s in
+    t.cb.schedule ~delay:phase (tick_loop t)
+  end
+
+(* --- message handling -------------------------------------------------- *)
+
+let handle_link_state t ~view:version snapshot =
+  match t.ctx with
+  | Some ctx when View.version ctx.view = version
+                  && Snapshot.size snapshot = View.size ctx.view ->
+      Table.ingest ctx.table snapshot ~now:(t.cb.now ())
+  | Some _ | None -> ()
+
+let handle_recommend t ~src_port ~view:version entries =
+  match t.ctx with
+  | Some ctx when View.version ctx.view = version -> (
+      match View.rank_of_port ctx.view src_port with
+      | None -> ()
+      | Some src_rank ->
+          let now = t.cb.now () in
+          let m = View.size ctx.view in
+          List.iter
+            (fun (dst, hop) ->
+              if dst >= 0 && dst < m && hop >= 0 && hop < m && dst <> ctx.self then begin
+                ctx.routes.(dst) <- Some { hop; received_at = now; via_port = src_port };
+                ctx.rec_last.(dst) <- now;
+                Hashtbl.replace ctx.rec_pair (pair_key ctx src_rank dst) now;
+                ctx.suspected_dead <- Nodeid.Set.remove dst ctx.suspected_dead
+              end)
+            entries)
+  | Some _ | None -> ()
+
+let handle_message t ~src_port msg =
+  match (msg : Message.t) with
+  | Message.Link_state { view; snapshot } -> handle_link_state t ~view snapshot
+  | Message.Recommend { view; entries } -> handle_recommend t ~src_port ~view entries
+  | Message.Probe _ | Message.Probe_reply _ | Message.Join _ | Message.Leave _
+  | Message.View _ | Message.Data _ | Message.Relay _ ->
+      ()
+
+let on_peer_death t ~port:_ =
+  (* Proximal failure: run failover maintenance immediately rather than
+     waiting for the next routing tick (Figure 6's timeline). *)
+  match t.ctx with
+  | Some ctx when t.started -> maintain t ctx ~now:(t.cb.now ())
+  | Some _ | None -> ()
+
+let on_peer_recovery t ~port =
+  match t.ctx with
+  | Some ctx -> (
+      match View.rank_of_port ctx.view port with
+      | Some rank -> ctx.suspected_dead <- Nodeid.Set.remove rank ctx.suspected_dead
+      | None -> ())
+  | None -> ()
+
+(* --- queries ------------------------------------------------------------ *)
+
+let best_hop_port t ~dst_port =
+  match t.ctx with
+  | None -> None
+  | Some ctx -> (
+      match View.rank_of_port ctx.view dst_port with
+      | None -> None
+      | Some dst when dst = ctx.self -> Some dst_port
+      | Some dst -> (
+          let now = t.cb.now () in
+          let max_age = staleness t in
+          match ctx.routes.(dst) with
+          (* Use the stored recommendation only while it is fresh and our
+             own probes still consider its first link alive — we always
+             have current link state for our own links (Section 4.2). *)
+          | Some r
+            when now -. r.received_at <= max_age
+                 && Monitor.alive t.monitor (View.port_of_rank ctx.view r.hop) ->
+              Some (View.port_of_rank ctx.view r.hop)
+          | Some _ | None -> (
+              (* Section 4.2 fallback: evaluate one-hops through the
+                 neighbours whose tables we hold. *)
+              let metric = t.config.metric in
+              let own = Snapshot.cost_vector (make_snapshot t ctx) metric in
+              let m = View.size ctx.view in
+              let cost_to_dst = Array.make m infinity in
+              let hops = ref [] in
+              for rank = 0 to m - 1 do
+                if rank <> ctx.self && rank <> dst then begin
+                  match Table.fresh_row ctx.table rank ~now ~max_age with
+                  | Some row ->
+                      cost_to_dst.(rank) <- Snapshot.cost row metric dst;
+                      hops := rank :: !hops
+                  | None -> ()
+                end
+              done;
+              cost_to_dst.(dst) <- 0.;
+              let choice =
+                Best_hop.best_restricted ~src:ctx.self ~dst ~hops:!hops
+                  ~cost_from_src:own ~cost_to_dst
+              in
+              if Float.is_finite choice.Best_hop.cost then
+                Some (View.port_of_rank ctx.view choice.Best_hop.hop)
+              else if Monitor.alive t.monitor dst_port then Some dst_port
+              else None)))
+
+let route_info t ~dst_port =
+  match t.ctx with
+  | None -> None
+  | Some ctx -> (
+      match View.rank_of_port ctx.view dst_port with
+      | None -> None
+      | Some dst -> (
+          match ctx.routes.(dst) with
+          | Some r ->
+              Some (View.port_of_rank ctx.view r.hop, r.received_at, r.via_port)
+          | None -> None))
+
+let freshness t ~dst_port =
+  match t.ctx with
+  | None -> None
+  | Some ctx -> (
+      match View.rank_of_port ctx.view dst_port with
+      | None -> None
+      | Some dst ->
+          if Float.is_finite ctx.rec_last.(dst) then
+            Some (t.cb.now () -. ctx.rec_last.(dst))
+          else None)
+
+let double_rendezvous_failure_count t =
+  match t.ctx with
+  | None -> 0
+  | Some ctx ->
+      let now = t.cb.now () in
+      if now -. ctx.created_at < warmup t then 0
+      else begin
+        let m = View.size ctx.view in
+        let count = ref 0 in
+        for dst = 0 to m - 1 do
+          if dst <> ctx.self && pair_failed t ctx ~now dst then incr count
+        done;
+        !count
+      end
+
+let active_failover_count t =
+  match t.ctx with None -> 0 | Some ctx -> Nodeid.Map.cardinal ctx.failover
+
+let rendezvous_server_ports t =
+  match t.ctx with
+  | None -> []
+  | Some ctx ->
+      let failover_servers =
+        Nodeid.Map.fold (fun _ e acc -> Nodeid.Set.add e.server acc) ctx.failover
+          Nodeid.Set.empty
+      in
+      let all =
+        List.fold_left
+          (fun acc k -> Nodeid.Set.add k acc)
+          failover_servers
+          (Grid.rendezvous_servers ctx.grid ctx.self)
+      in
+      Nodeid.Set.elements all |> List.map (View.port_of_rank ctx.view)
+
+let suspects_dead t ~dst_port =
+  match t.ctx with
+  | None -> false
+  | Some ctx -> (
+      match View.rank_of_port ctx.view dst_port with
+      | Some rank -> Nodeid.Set.mem rank ctx.suspected_dead
+      | None -> false)

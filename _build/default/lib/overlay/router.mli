@@ -1,0 +1,82 @@
+(** The quorum router: the paper's two-round protocol run continuously on
+    live measurements, with the failure handling of Section 4.
+
+    Every routing interval the router
+    + announces its current link-state snapshot to its rendezvous servers
+      (grid row/column plus any failover servers in use), and
+    + in its rendezvous-server role, sends each client with a fresh table
+      (received within [staleness_windows * r]) best-hop recommendations
+      covering every other fresh client, and
+    + computes routes locally for destinations whose tables it holds
+      (its own clients — Section 4.2's redundancy), and
+    + runs failover maintenance: destinations whose default rendezvous
+      servers all appear failed (proximally dead, or silent for
+      [remote_failure_factor * r]) get a replacement server drawn uniformly
+      from the destination's row/column pool, with the dead-destination
+      check gating repeated failover.
+
+    All routing state lives in the rank space of the current membership
+    view; messages from other views are discarded. *)
+
+open Apor_util
+
+type callbacks = {
+  now : unit -> float;
+  send : dst_port:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+}
+
+type t
+
+val create :
+  config:Config.t -> self_port:int -> rng:Rng.t -> monitor:Monitor.t -> callbacks -> t
+
+val start : t -> unit
+(** Begin the routing loop (first tick after a random phase within one
+    interval).  Idempotent. *)
+
+val set_view : t -> View.t -> unit
+(** Install a membership view: rebuild the grid and drop routing state
+    from the previous view.  No-op when the version is unchanged. *)
+
+val view : t -> View.t option
+
+val handle_message : t -> src_port:int -> Message.t -> unit
+(** Feed in [Link_state] and [Recommend] messages; others are ignored. *)
+
+val on_peer_death : t -> port:int -> unit
+(** Proximal-failure notification from the monitor: runs an immediate
+    failover scan instead of waiting for the next tick. *)
+
+val on_peer_recovery : t -> port:int -> unit
+
+(** {1 Queries (used by applications and the metrics samplers)} *)
+
+val best_hop_port : t -> dst_port:int -> int option
+(** The overlay's answer to "how do I reach [dst] right now": the freshest
+    recommendation if any, else a one-hop through a neighbour whose table
+    the node holds (Section 4.2), else the direct path if the monitor
+    believes it alive.  Returns the next-hop port ([= dst_port] for the
+    direct path); [None] when the destination is unknown or believed
+    unreachable. *)
+
+val route_info : t -> dst_port:int -> (int * float * int) option
+(** [(hop_port, received_at, via_port)] of the stored recommendation. *)
+
+val freshness : t -> dst_port:int -> float option
+(** Seconds since the last best-hop recommendation for this destination
+    was received (Figures 12–14); [None] if none ever arrived. *)
+
+val double_rendezvous_failure_count : t -> int
+(** Number of destinations currently experiencing failures of {e all}
+    their default connecting rendezvous servers (Figure 11). *)
+
+val active_failover_count : t -> int
+(** Destinations currently routed around via a failover rendezvous. *)
+
+val rendezvous_server_ports : t -> int list
+(** Default plus failover servers the node currently announces to. *)
+
+val suspects_dead : t -> dst_port:int -> bool
+(** Whether the dead-destination check has currently concluded that [dst]
+    itself has failed (stops failover attempts for it). *)

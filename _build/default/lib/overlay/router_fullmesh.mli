@@ -1,0 +1,39 @@
+(** The original RON router: full-mesh link-state broadcast.
+
+    Every routing interval (30 s by default) the node sends its link-state
+    table to {e every} other member and recomputes all best one-hop routes
+    locally from the tables it holds — [O(n^2)] per-node communication,
+    the baseline of Figures 7 and 9. *)
+
+type callbacks = {
+  now : unit -> float;
+  send : dst_port:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  self_port:int ->
+  rng:Apor_util.Rng.t ->
+  monitor:Monitor.t ->
+  callbacks ->
+  t
+
+val start : t -> unit
+
+val set_view : t -> View.t -> unit
+
+val view : t -> View.t option
+
+val handle_message : t -> src_port:int -> Message.t -> unit
+(** Consumes [Link_state]; everything else is ignored. *)
+
+val best_hop_port : t -> dst_port:int -> int option
+(** Best one-hop (or direct) next hop, recomputed from the stored tables;
+    [None] when unknown or unreachable. *)
+
+val freshness : t -> dst_port:int -> float option
+(** Seconds since the destination's own link-state announcement was last
+    received — the baseline's analogue of recommendation freshness. *)

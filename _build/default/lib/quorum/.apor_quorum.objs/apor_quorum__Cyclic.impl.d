@@ -1,0 +1,1 @@
+lib/quorum/cyclic.ml: Apor_util Array Nodeid System

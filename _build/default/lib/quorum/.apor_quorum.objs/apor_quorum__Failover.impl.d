@@ -1,0 +1,1 @@
+lib/quorum/failover.ml: Apor_util Array Grid List Nodeid Rng

@@ -1,0 +1,1 @@
+lib/quorum/failover.mli: Apor_util Grid Nodeid Rng

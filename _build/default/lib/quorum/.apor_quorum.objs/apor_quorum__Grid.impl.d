@@ -1,0 +1,1 @@
+lib/quorum/grid.ml: Apor_util Array Format Fun List Nodeid Result String

@@ -1,0 +1,1 @@
+lib/quorum/grid.mli: Apor_util Format Nodeid

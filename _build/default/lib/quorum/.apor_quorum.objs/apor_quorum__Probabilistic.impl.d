@@ -1,0 +1,1 @@
+lib/quorum/probabilistic.ml: Apor_util Array Nodeid Rng System

@@ -1,0 +1,1 @@
+lib/quorum/system.ml: Apor_util Array Format Fun Grid List Nodeid Result

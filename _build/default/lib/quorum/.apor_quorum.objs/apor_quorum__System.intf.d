@@ -1,0 +1,1 @@
+lib/quorum/system.mli: Apor_util Grid Nodeid

@@ -1,0 +1,43 @@
+open Apor_util
+
+let isqrt_ceil n =
+  let rec go s = if s * s >= n then s else go (s + 1) in
+  go 1
+
+let build_sets n =
+  let s = isqrt_ceil n in
+  let strides = (n + s - 1) / s in
+  let servers = Array.make n Nodeid.Set.empty in
+  for i = 0 to n - 1 do
+    let set = ref Nodeid.Set.empty in
+    for d = 1 to s - 1 do
+      set := Nodeid.Set.add ((i + d) mod n) !set
+    done;
+    for k = 1 to strides - 1 do
+      set := Nodeid.Set.add ((i + (k * s)) mod n) !set
+    done;
+    servers.(i) <- Nodeid.Set.remove i !set
+  done;
+  let clients = Array.make n Nodeid.Set.empty in
+  Array.iteri
+    (fun i rs -> Nodeid.Set.iter (fun j -> clients.(j) <- Nodeid.Set.add i clients.(j)) rs)
+    servers;
+  (servers, clients)
+
+let system n =
+  if n < 1 || n > Nodeid.max_nodes then
+    invalid_arg "Cyclic.system: n outside [1, Nodeid.max_nodes]";
+  let servers, clients = build_sets n in
+  let connecting i j =
+    let common = Nodeid.Set.inter servers.(i) servers.(j) in
+    let common = if Nodeid.Set.mem i servers.(j) then Nodeid.Set.add i common else common in
+    let common = if Nodeid.Set.mem j servers.(i) then Nodeid.Set.add j common else common in
+    Nodeid.Set.elements common
+  in
+  {
+    System.name = "cyclic";
+    size = n;
+    servers = (fun i -> Nodeid.Set.elements servers.(i));
+    clients = (fun i -> Nodeid.Set.elements clients.(i));
+    connecting;
+  }

@@ -1,0 +1,24 @@
+(** A cyclic (segment + stride) quorum construction.
+
+    Arrange the nodes on a ring.  Node [i]'s rendezvous servers are
+
+    - the {e segment}: the [s - 1] nodes following it,
+      [i+1 .. i+s-1 (mod n)], and
+    - the {e stride}: every [s]-th node, [i + k*s (mod n)],
+
+    with [s = ceil (sqrt n)].  Because consecutive stride elements are at
+    most [s] apart around the ring, any segment intersects every stride:
+    node [j]'s segment meets node [i]'s stride, so every pair shares a
+    rendezvous.  Quorum size is at most [2s], the same order as the grid.
+
+    Unlike the grid this construction is {e not} symmetric — [j in R_i]
+    does not imply [i in R_j] — which makes it a test vehicle for the
+    paper's remark that "the routing algorithm could be applied with other
+    quorum constructions that do not have [the symmetry]".  Its geometry
+    is also rotation-invariant: every node has exactly the same server and
+    client degree, so rendezvous load is perfectly balanced even when [n]
+    is far from a perfect square (where the grid's last row gets uneven). *)
+
+val system : int -> System.t
+(** Build the construction for an [n]-node overlay.
+    @raise Invalid_argument unless [1 <= n <= Apor_util.Nodeid.max_nodes]. *)

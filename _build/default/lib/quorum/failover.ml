@@ -1,0 +1,11 @@
+open Apor_util
+
+let candidates grid ~self ~dst ~excluded =
+  Grid.failover_candidates grid ~dst
+  |> List.filter (fun id ->
+         id <> self && id <> dst && not (Nodeid.Set.mem id excluded))
+
+let choose ~rng grid ~self ~dst ~excluded =
+  match candidates grid ~self ~dst ~excluded with
+  | [] -> None
+  | pool -> Some (Rng.pick rng (Array.of_list pool))

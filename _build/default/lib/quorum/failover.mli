@@ -1,0 +1,25 @@
+(** Rendezvous failover selection (Section 4.1).
+
+    When a node observes a rendezvous failure towards a destination it draws
+    a replacement {e uniformly at random} from the destination's row/column
+    pool, so that concurrent failovers spread their load evenly across the
+    ~[2*sqrt n] candidates instead of stampeding onto one node. *)
+
+open Apor_util
+
+val candidates :
+  Grid.t -> self:Nodeid.t -> dst:Nodeid.t -> excluded:Nodeid.Set.t -> Nodeid.t list
+(** Viable failover rendezvous servers for reaching [dst]: the nodes that
+    receive [dst]'s link state, minus [self], [dst] and [excluded] (already
+    tried or known unreachable). *)
+
+val choose :
+  rng:Rng.t ->
+  Grid.t ->
+  self:Nodeid.t ->
+  dst:Nodeid.t ->
+  excluded:Nodeid.Set.t ->
+  Nodeid.t option
+(** Uniform random choice among [candidates], or [None] when the pool is
+    exhausted (at which point the caller should suspect [dst] itself has
+    failed and run the liveness check of Section 4.1). *)

@@ -1,0 +1,195 @@
+open Apor_util
+
+type t = {
+  n : int;
+  rows : int;
+  cols : int;
+  last_row_length : int;
+  servers : Nodeid.t list array;      (* R_i, sorted ascending *)
+  server_sets : Nodeid.Set.t array;   (* same, as sets, for intersection *)
+}
+
+let isqrt n =
+  (* floor (sqrt n) computed exactly, avoiding float edge cases *)
+  let rec fix s = if (s + 1) * (s + 1) <= n then fix (s + 1) else s in
+  fix (max 0 (int_of_float (sqrt (float_of_int n)) - 2))
+
+let shape n =
+  let s = isqrt n in
+  if s * s = n then (s, s)
+  else if n <= (s * s) + s then ((n + s - 1) / s, s) (* a < 0.5: cols = floor sqrt *)
+  else (s + 1, s + 1) (* a >= 0.5: square ceil grid *)
+
+let position_of ~cols id = (id / cols, id mod cols)
+
+let node_at_raw ~n ~rows ~cols ~row ~col =
+  if row < 0 || col < 0 || row >= rows || col >= cols then None
+  else begin
+    let id = (row * cols) + col in
+    if id < n then Some id else None
+  end
+
+(* The paper's extra assignments: when the last row holds only [k < cols]
+   nodes, pair the last-row node of column [c] with every existing node
+   [(c, j)] for [j >= k] — those upper-right nodes lost their column's
+   last-row member.  Valid only when row index [c] is itself a complete row
+   (c <= rows - 2); the cover property holds regardless (see Grid doc). *)
+let extra_partners ~n ~rows ~cols ~k ~row ~col =
+  if k >= cols then []
+  else if row = rows - 1 then begin
+    if col > rows - 2 then []
+    else begin
+      let rec collect j acc =
+        if j >= cols then List.rev acc
+        else begin
+          match node_at_raw ~n ~rows ~cols ~row:col ~col:j with
+          | Some id -> collect (j + 1) (id :: acc)
+          | None -> collect (j + 1) acc
+        end
+      in
+      collect k []
+    end
+  end
+  else if col >= k && row < k then begin
+    match node_at_raw ~n ~rows ~cols ~row:(rows - 1) ~col:row with
+    | Some id -> [ id ]
+    | None -> []
+  end
+  else []
+
+let build n =
+  if n < 1 || n > Nodeid.max_nodes then
+    invalid_arg "Grid.build: n outside [1, Nodeid.max_nodes]";
+  let rows, cols = shape n in
+  let k = n - ((rows - 1) * cols) in
+  let servers = Array.make n [] in
+  let server_sets = Array.make n Nodeid.Set.empty in
+  for id = 0 to n - 1 do
+    let row, col = position_of ~cols id in
+    let add acc other = if other = id then acc else Nodeid.Set.add other acc in
+    let in_row =
+      List.fold_left
+        (fun acc c ->
+          match node_at_raw ~n ~rows ~cols ~row ~col:c with
+          | Some other -> add acc other
+          | None -> acc)
+        Nodeid.Set.empty
+        (List.init cols Fun.id)
+    in
+    let in_row_col =
+      List.fold_left
+        (fun acc r ->
+          match node_at_raw ~n ~rows ~cols ~row:r ~col with
+          | Some other -> add acc other
+          | None -> acc)
+        in_row
+        (List.init rows Fun.id)
+    in
+    let with_extras =
+      List.fold_left add in_row_col (extra_partners ~n ~rows ~cols ~k ~row ~col)
+    in
+    server_sets.(id) <- with_extras;
+    servers.(id) <- Nodeid.Set.elements with_extras
+  done;
+  { n; rows; cols; last_row_length = k; servers; server_sets }
+
+let size t = t.n
+let rows t = t.rows
+let cols t = t.cols
+let last_row_length t = t.last_row_length
+let is_complete t = t.last_row_length = t.cols
+
+let check_id t id =
+  if id < 0 || id >= t.n then invalid_arg "Grid: node id out of range"
+
+let position t id =
+  check_id t id;
+  position_of ~cols:t.cols id
+
+let node_at t ~row ~col = node_at_raw ~n:t.n ~rows:t.rows ~cols:t.cols ~row ~col
+
+let row_members t row =
+  List.filter_map (fun col -> node_at t ~row ~col) (List.init t.cols Fun.id)
+
+let col_members t col =
+  List.filter_map (fun row -> node_at t ~row ~col) (List.init t.rows Fun.id)
+
+let rendezvous_servers t id =
+  check_id t id;
+  t.servers.(id)
+
+let rendezvous_clients = rendezvous_servers
+
+let is_rendezvous_for t ~server ~client =
+  check_id t server;
+  check_id t client;
+  Nodeid.Set.mem server t.server_sets.(client)
+
+let common_rendezvous t i j =
+  check_id t i;
+  check_id t j;
+  Nodeid.Set.elements (Nodeid.Set.inter t.server_sets.(i) t.server_sets.(j))
+
+let connecting t i j =
+  let common = Nodeid.Set.inter t.server_sets.(i) t.server_sets.(j) in
+  let common =
+    if Nodeid.Set.mem i t.server_sets.(j) then Nodeid.Set.add i common else common
+  in
+  let common =
+    if Nodeid.Set.mem j t.server_sets.(i) then Nodeid.Set.add j common else common
+  in
+  Nodeid.Set.elements common
+
+let failover_candidates t ~dst = rendezvous_servers t dst
+
+let max_rendezvous_degree t =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.servers
+
+let verify t =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  (* symmetry: R_i = C_i as a relation *)
+  let* () =
+    let asymmetric = ref None in
+    for i = 0 to t.n - 1 do
+      List.iter
+        (fun s ->
+          if not (Nodeid.Set.mem i t.server_sets.(s)) then
+            if !asymmetric = None then asymmetric := Some (i, s))
+        t.servers.(i)
+    done;
+    match !asymmetric with
+    | Some (i, s) -> fail "asymmetric assignment: %d serves %d but not conversely" s i
+    | None -> Ok ()
+  in
+  (* cover: every pair has a connecting node *)
+  let* () =
+    let missing = ref None in
+    for i = 0 to t.n - 1 do
+      for j = i + 1 to t.n - 1 do
+        if connecting t i j = [] && !missing = None then missing := Some (i, j)
+      done
+    done;
+    match !missing with
+    | Some (i, j) -> fail "pair (%d, %d) has no connecting rendezvous node" i j
+    | None -> Ok ()
+  in
+  (* balance: Theorem 1's 2 * ceil(sqrt n) bound on degree *)
+  let bound = 2 * t.rows in
+  if max_rendezvous_degree t > bound then
+    fail "rendezvous degree %d exceeds 2*rows = %d" (max_rendezvous_degree t) bound
+  else Ok ()
+
+let pp ppf t =
+  let width = String.length (string_of_int t.n) in
+  Format.pp_open_vbox ppf 0;
+  for row = 0 to t.rows - 1 do
+    if row > 0 then Format.pp_print_cut ppf ();
+    for col = 0 to t.cols - 1 do
+      if col > 0 then Format.pp_print_string ppf " ";
+      match node_at t ~row ~col with
+      | Some id -> Format.fprintf ppf "%*d" width id
+      | None -> Format.fprintf ppf "%*s" width "."
+    done
+  done;
+  Format.pp_close_box ppf ()

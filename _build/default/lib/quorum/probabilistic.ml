@@ -1,0 +1,59 @@
+open Apor_util
+
+let quorum_size ~multiplier n =
+  min (n - 1) (int_of_float (ceil (multiplier *. sqrt (float_of_int n))))
+
+let system ?(multiplier = 3.) ~seed n =
+  if n < 1 || n > Nodeid.max_nodes then
+    invalid_arg "Probabilistic.system: n outside [1, Nodeid.max_nodes]";
+  if multiplier <= 0. then invalid_arg "Probabilistic.system: multiplier <= 0";
+  let rng = Rng.split (Rng.make ~seed) "probabilistic-quorum" in
+  let size = quorum_size ~multiplier n in
+  let servers = Array.make n Nodeid.Set.empty in
+  for i = 0 to n - 1 do
+    (* rejection sampling: size <= n-1, so this terminates quickly *)
+    let set = ref Nodeid.Set.empty in
+    while Nodeid.Set.cardinal !set < size do
+      let candidate = Rng.int rng n in
+      if candidate <> i then set := Nodeid.Set.add candidate !set
+    done;
+    servers.(i) <- !set
+  done;
+  let clients = Array.make n Nodeid.Set.empty in
+  Array.iteri
+    (fun i rs -> Nodeid.Set.iter (fun j -> clients.(j) <- Nodeid.Set.add i clients.(j)) rs)
+    servers;
+  let connecting i j =
+    let common = Nodeid.Set.inter servers.(i) servers.(j) in
+    let common = if Nodeid.Set.mem i servers.(j) then Nodeid.Set.add i common else common in
+    let common = if Nodeid.Set.mem j servers.(i) then Nodeid.Set.add j common else common in
+    Nodeid.Set.elements common
+  in
+  {
+    System.name = "probabilistic";
+    size = n;
+    servers = (fun i -> Nodeid.Set.elements servers.(i));
+    clients = (fun i -> Nodeid.Set.elements clients.(i));
+    connecting;
+  }
+
+let expected_miss_rate ?(multiplier = 3.) n =
+  if n <= 1 then 0.
+  else begin
+    let s = float_of_int (quorum_size ~multiplier n) in
+    (1. -. (s /. float_of_int n)) ** s
+  end
+
+let coverage (s : System.t) =
+  let n = s.System.size in
+  if n < 2 then 1.
+  else begin
+    let covered = ref 0 and total = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        incr total;
+        if s.System.connecting i j <> [] then incr covered
+      done
+    done;
+    float_of_int !covered /. float_of_int !total
+  end

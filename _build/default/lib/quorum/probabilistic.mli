@@ -1,0 +1,27 @@
+(** Probabilistic quorums (Malkhi, Reiter & Wright — the paper's
+    reference [14]).
+
+    Each node's rendezvous set is an independent uniform random subset of
+    size [ceil (multiplier * sqrt n)].  Two such sets intersect except with
+    probability roughly [exp (-multiplier^2)], so coverage is only
+    {e probabilistic}: with the default multiplier 3 about one pair in ten
+    thousand has no common rendezvous and falls back to the Section 4.2
+    neighbour tables (usually still finding a good, if not provably
+    optimal, route).
+
+    Included as a counterpoint to the deterministic grid: same asymptotic
+    cost and naturally balanced load, but a nonzero miss rate — exactly
+    the trade-off that makes the grid's {e certain} cover attractive for
+    route computation. *)
+
+val system : ?multiplier:float -> seed:int -> int -> System.t
+(** Deterministic for a given seed.
+    @raise Invalid_argument when [n] is outside [1, Nodeid.max_nodes] or
+    [multiplier <= 0]. *)
+
+val expected_miss_rate : ?multiplier:float -> int -> float
+(** Analytic per-pair probability of an empty intersection,
+    [(1 - s/n)^s] with [s = ceil (multiplier * sqrt n)] (capped at n-1). *)
+
+val coverage : System.t -> float
+(** Measured fraction of pairs with a non-empty connecting set.  O(n^2). *)

@@ -1,0 +1,78 @@
+open Apor_util
+
+type t = {
+  name : string;
+  size : int;
+  servers : Nodeid.t -> Nodeid.t list;
+  clients : Nodeid.t -> Nodeid.t list;
+  connecting : Nodeid.t -> Nodeid.t -> Nodeid.t list;
+}
+
+let of_grid grid =
+  {
+    name = "grid";
+    size = Grid.size grid;
+    servers = Grid.rendezvous_servers grid;
+    clients = Grid.rendezvous_clients grid;
+    connecting = Grid.connecting grid;
+  }
+
+let verify t =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let n = t.size in
+  let server_sets = Array.init n (fun i -> Nodeid.Set.of_list (t.servers i)) in
+  let sorted_self_free l i =
+    let rec ascending = function
+      | a :: (b :: _ as rest) -> a < b && ascending rest
+      | _ -> true
+    in
+    ascending l && (not (List.mem i l)) && List.for_all (fun x -> x >= 0 && x < n) l
+  in
+  let rec check_lists i =
+    if i >= n then Ok ()
+    else if not (sorted_self_free (t.servers i) i) then
+      fail "servers of %d not sorted/self-free/in-range" i
+    else if not (sorted_self_free (t.clients i) i) then
+      fail "clients of %d not sorted/self-free/in-range" i
+    else check_lists (i + 1)
+  in
+  let rec check_duality i =
+    if i >= n then Ok ()
+    else begin
+      let expected =
+        List.filter (fun j -> j <> i && Nodeid.Set.mem i server_sets.(j)) (List.init n Fun.id)
+      in
+      if expected <> t.clients i then fail "clients of %d differ from { j : %d in R_j }" i i
+      else check_duality (i + 1)
+    end
+  in
+  let rec check_cover i j =
+    if i >= n then Ok ()
+    else if j >= n then check_cover (i + 1) (i + 2)
+    else if t.connecting i j = [] then fail "pair (%d, %d) has no connecting node" i j
+    else check_cover i (j + 1)
+  in
+  let ( let* ) = Result.bind in
+  let* () = check_lists 0 in
+  let* () = check_duality 0 in
+  check_cover 0 1
+
+let max_degree t =
+  let rec go i acc =
+    if i >= t.size then acc else go (i + 1) (max acc (List.length (t.servers i)))
+  in
+  go 0 0
+
+let mean_degree t =
+  let total = ref 0 in
+  for i = 0 to t.size - 1 do
+    total := !total + List.length (t.servers i)
+  done;
+  float_of_int !total /. float_of_int t.size
+
+let load_imbalance t =
+  let loads = Array.init t.size (fun i -> List.length (t.clients i)) in
+  let total = Array.fold_left ( + ) 0 loads in
+  let mean = float_of_int total /. float_of_int t.size in
+  if mean = 0. then 1.
+  else float_of_int (Array.fold_left max 0 loads) /. mean

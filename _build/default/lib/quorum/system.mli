@@ -1,0 +1,41 @@
+(** A quorum system abstracted away from the grid.
+
+    Section 3 notes that the routing algorithm only needs, for every pair
+    of nodes, {e some} node holding both link-state tables — the grid is
+    one construction, but "the routing algorithm could be applied with
+    other quorum constructions" including ones where the rendezvous
+    relation is not symmetric.  This record is that minimal interface: the
+    two-round protocol and the benches run against it, and both the grid
+    and the cyclic construction below provide it. *)
+
+open Apor_util
+
+type t = {
+  name : string;
+  size : int;
+  servers : Nodeid.t -> Nodeid.t list;
+      (** [R_i]: where node [i] sends its link state; sorted, self-free. *)
+  clients : Nodeid.t -> Nodeid.t list;
+      (** [C_i = { j : i in R_j }]: whose link state node [i] receives and
+          whom it must send recommendations to; sorted, self-free. *)
+  connecting : Nodeid.t -> Nodeid.t -> Nodeid.t list;
+      (** Nodes holding both [i]'s and [j]'s tables (either as a common
+          rendezvous or by being [i] or [j] themselves with the other as a
+          client); must be non-empty for every pair. *)
+}
+
+val of_grid : Grid.t -> t
+(** The paper's grid quorum viewed through the generic interface. *)
+
+val verify : t -> (unit, string) result
+(** Re-check the client/server duality, self-freeness and the cover
+    property.  O(n^2 * sqrt n); for tests. *)
+
+val max_degree : t -> int
+(** Largest [|R_i|]: the per-node round-one fan-out. *)
+
+val mean_degree : t -> float
+
+val load_imbalance : t -> float
+(** Max over nodes of [|C_i|] divided by the mean — 1.0 is perfectly
+    balanced rendezvous load. *)

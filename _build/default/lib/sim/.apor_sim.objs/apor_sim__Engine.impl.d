@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Apor_util Float Heap Network Traffic

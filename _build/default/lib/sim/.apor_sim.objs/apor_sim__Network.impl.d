@@ -1,0 +1,1 @@
+lib/sim/network.ml: Apor_util Array Float Rng

@@ -1,0 +1,63 @@
+open Apor_util
+
+type 'msg t = {
+  network : Network.t;
+  traffic : Traffic.t;
+  events : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable handler : (dst:int -> src:int -> 'msg -> unit) option;
+}
+
+let create ~network =
+  {
+    network;
+    traffic = Traffic.create ~n:(Network.size network);
+    events = Heap.create ();
+    clock = 0.;
+    handler = None;
+  }
+
+let network t = t.network
+let traffic t = t.traffic
+let now t = t.clock
+let set_handler t f = t.handler <- Some f
+
+let schedule t ~delay f =
+  if Float.is_nan delay || delay < 0. then invalid_arg "Engine.schedule: bad delay";
+  Heap.push t.events ~key:(t.clock +. delay) f
+
+let schedule_at t ~time f = Heap.push t.events ~key:(Float.max time t.clock) f
+
+let deliver t ~dst ~src msg =
+  match t.handler with
+  | Some f -> f ~dst ~src msg
+  | None -> failwith "Engine: message delivered with no handler installed"
+
+let send t ~cls ~src ~dst ~bytes msg =
+  Traffic.record t.traffic cls ~node:src ~bytes ~now:t.clock;
+  match Network.sample_delivery t.network ~src ~dst with
+  | None -> ()
+  | Some delay ->
+      schedule t ~delay (fun () ->
+          Traffic.record t.traffic cls ~node:dst ~bytes ~now:t.clock;
+          deliver t ~dst ~src msg)
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- Float.max t.clock time;
+      f ();
+      true
+
+let run_until t horizon =
+  let rec go () =
+    match Heap.peek t.events with
+    | Some (time, _) when time <= horizon ->
+        ignore (step t);
+        go ()
+    | Some _ | None -> t.clock <- Float.max t.clock horizon
+  in
+  go ()
+
+let pending t = Heap.length t.events

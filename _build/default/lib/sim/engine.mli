@@ -1,0 +1,49 @@
+(** The discrete-event engine.
+
+    A single virtual clock, an event heap and a message layer over
+    {!Network}.  Protocol code registers one dispatch function; [send]
+    samples the network for loss and delay, accounts traffic on both ends
+    and schedules the delivery.  Events at equal times run in scheduling
+    order, so runs are fully deterministic for a given seed.
+
+    The engine is polymorphic in the protocol's message type: the overlay
+    instantiates ['msg] with its own variant. *)
+
+type 'msg t
+
+val create : network:Network.t -> 'msg t
+(** Fresh engine at time 0 with no handler installed. *)
+
+val network : 'msg t -> Network.t
+
+val traffic : 'msg t -> Traffic.t
+
+val now : 'msg t -> float
+(** Virtual time in seconds. *)
+
+val set_handler : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
+(** Install the delivery dispatch.  Messages delivered before a handler is
+    installed raise [Failure] — a protocol wiring bug. *)
+
+val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] seconds from now.
+    @raise Invalid_argument on negative or NaN delay. *)
+
+val schedule_at : 'msg t -> time:float -> (unit -> unit) -> unit
+(** Run a callback at an absolute virtual time (clamped to now). *)
+
+val send : 'msg t -> cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Transmit one packet.  Outgoing bytes are accounted immediately at
+    [src]; if the network delivers, incoming bytes are accounted at [dst]
+    on arrival and the handler runs.  Dropped packets simply vanish, as on
+    the real Internet (all overlay messages are UDP-like). *)
+
+val run_until : 'msg t -> float -> unit
+(** Process every event with time <= the given horizon; afterwards [now]
+    equals the horizon. *)
+
+val step : 'msg t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val pending : 'msg t -> int
+(** Number of queued events. *)

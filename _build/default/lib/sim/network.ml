@@ -1,0 +1,107 @@
+open Apor_util
+
+type t = {
+  size : int;
+  rtt : float array array;  (* milliseconds, symmetric *)
+  loss : float array array; (* probability, symmetric *)
+  up : bool array array;    (* symmetric *)
+  rng : Rng.t;
+}
+
+let validate_square name m =
+  let n = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg (name ^ ": matrix not square"))
+    m;
+  n
+
+let create ~rtt_ms ?loss ~seed () =
+  let size = validate_square "Network.create" rtt_ms in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 0. || Float.is_nan v then invalid_arg "Network.create: bad RTT"))
+    rtt_ms;
+  let loss =
+    match loss with
+    | None -> Array.make_matrix size size 0.
+    | Some l ->
+        let ln = validate_square "Network.create loss" l in
+        if ln <> size then invalid_arg "Network.create: loss size differs from rtt";
+        Array.iter
+          (Array.iter (fun v ->
+               if v < 0. || v > 1. || Float.is_nan v then
+                 invalid_arg "Network.create: loss outside [0,1]"))
+          l;
+        Array.map Array.copy l
+  in
+  {
+    size;
+    rtt = Array.map Array.copy rtt_ms;
+    loss;
+    up = Array.init size (fun _ -> Array.make size true);
+    rng = Rng.make ~seed |> fun r -> Rng.split r "network.loss";
+  }
+
+let size t = t.size
+
+let check t i j =
+  if i < 0 || j < 0 || i >= t.size || j >= t.size then
+    invalid_arg "Network: endpoint out of range"
+
+(* All link attributes are stored symmetrically: write both triangles. *)
+let set m i j v =
+  m.(i).(j) <- v;
+  m.(j).(i) <- v
+
+let rtt_ms t i j =
+  check t i j;
+  t.rtt.(i).(j)
+
+let set_rtt_ms t i j v =
+  check t i j;
+  if v < 0. || Float.is_nan v then invalid_arg "Network.set_rtt_ms: bad RTT";
+  set t.rtt i j v
+
+let loss t i j =
+  check t i j;
+  t.loss.(i).(j)
+
+let set_loss t i j v =
+  check t i j;
+  if v < 0. || v > 1. || Float.is_nan v then invalid_arg "Network.set_loss: bad loss";
+  set t.loss i j v
+
+let link_up t i j =
+  check t i j;
+  i = j || t.up.(i).(j)
+
+let set_link_up t i j v =
+  check t i j;
+  if i <> j then set t.up i j v
+
+let fail_node t i =
+  check t i i;
+  for j = 0 to t.size - 1 do
+    set_link_up t i j false
+  done
+
+let recover_node t i =
+  check t i i;
+  for j = 0 to t.size - 1 do
+    set_link_up t i j true
+  done
+
+let sample_delivery t ~src ~dst =
+  check t src dst;
+  if src = dst then Some 0.
+  else if not t.up.(src).(dst) then None
+  else if Rng.bernoulli t.rng ~p:t.loss.(src).(dst) then None
+  else Some (t.rtt.(src).(dst) /. 2. /. 1000.)
+
+let down_links t i =
+  check t i i;
+  let count = ref 0 in
+  for j = 0 to t.size - 1 do
+    if j <> i && not t.up.(i).(j) then incr count
+  done;
+  !count

@@ -1,0 +1,44 @@
+(** The simulated Internet underneath the overlay.
+
+    A full mesh of virtual links between [size] endpoints, each with a
+    round-trip latency, a packet-loss probability and an up/down state.
+    Packets experience half the RTT one way and are dropped when the link
+    is down or the loss draw fires.  Links are symmetric, as the paper
+    assumes; latency, loss and liveness are all mutable so failure
+    injectors can rewrite the world mid-run. *)
+
+type t
+
+val create : rtt_ms:float array array -> ?loss:float array array -> seed:int -> unit -> t
+(** [rtt_ms] must be square and non-negative; [loss] (default all zero)
+    must have entries in [0, 1].  Both are read as symmetric: entry
+    [(i, j)] with [i < j] governs the link in both directions.
+    @raise Invalid_argument on malformed matrices. *)
+
+val size : t -> int
+
+val rtt_ms : t -> int -> int -> float
+
+val set_rtt_ms : t -> int -> int -> float -> unit
+
+val loss : t -> int -> int -> float
+
+val set_loss : t -> int -> int -> float -> unit
+
+val link_up : t -> int -> int -> bool
+
+val set_link_up : t -> int -> int -> bool -> unit
+
+val fail_node : t -> int -> unit
+(** Take every link of a node down — a node crash as seen by the network. *)
+
+val recover_node : t -> int -> unit
+
+val sample_delivery : t -> src:int -> dst:int -> float option
+(** One packet: [None] when dropped (down link or loss draw), otherwise
+    the one-way delay in {e seconds}. *)
+
+val down_links : t -> int -> int
+(** Number of currently-down links at a node — the instantaneous
+    "concurrent link failures" the deployment study counts (Figure 8
+    counts the probed version; this is the ground truth). *)

@@ -1,0 +1,68 @@
+type cls = Probe | Routing | Membership | Data
+
+let all_classes = [ Probe; Routing; Membership; Data ]
+let cls_index = function Probe -> 0 | Routing -> 1 | Membership -> 2 | Data -> 3
+
+type t = {
+  n : int;
+  (* buckets.(cls).(node) is a growable per-second byte count array *)
+  mutable buckets : int array array array;
+  mutable capacity : int; (* seconds currently allocated *)
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Traffic.create: n must be positive";
+  { n; buckets = Array.init 4 (fun _ -> Array.init n (fun _ -> Array.make 64 0)); capacity = 64 }
+
+let n t = t.n
+
+let ensure t second =
+  if second >= t.capacity then begin
+    let capacity = max (second + 1) (2 * t.capacity) in
+    t.buckets <-
+      Array.map
+        (Array.map (fun old ->
+             let fresh = Array.make capacity 0 in
+             Array.blit old 0 fresh 0 (Array.length old);
+             fresh))
+        t.buckets;
+    t.capacity <- capacity
+  end
+
+let record t cls ~node ~bytes ~now =
+  if now < 0. then invalid_arg "Traffic.record: negative time";
+  if node < 0 || node >= t.n then invalid_arg "Traffic.record: node out of range";
+  let second = int_of_float now in
+  ensure t second;
+  let b = t.buckets.(cls_index cls).(node) in
+  b.(second) <- b.(second) + bytes
+
+let bytes_in_range t ~cls ~node ~t0 ~t1 =
+  if node < 0 || node >= t.n then invalid_arg "Traffic.bytes_in_range: node out of range";
+  let s0 = max 0 (int_of_float t0) in
+  let s1 = min t.capacity (int_of_float t1) in
+  let b = t.buckets.(cls_index cls).(node) in
+  let total = ref 0 in
+  for s = s0 to s1 - 1 do
+    total := !total + b.(s)
+  done;
+  !total
+
+let kbps t ~classes ~node ~t0 ~t1 =
+  if t1 <= t0 then invalid_arg "Traffic.kbps: empty interval";
+  let bytes =
+    List.fold_left (fun acc cls -> acc + bytes_in_range t ~cls ~node ~t0 ~t1) 0 classes
+  in
+  float_of_int (bytes * 8) /. (t1 -. t0) /. 1000.
+
+let max_window_kbps t ~classes ~node ~window ~t0 ~t1 =
+  if window <= 0. then invalid_arg "Traffic.max_window_kbps: window must be positive";
+  let step = window in
+  let rec go start best =
+    if start +. window > t1 +. 1e-9 then best
+    else begin
+      let v = kbps t ~classes ~node ~t0:start ~t1:(start +. window) in
+      go (start +. step) (Float.max best v)
+    end
+  in
+  if t0 +. window > t1 then kbps t ~classes ~node ~t0 ~t1 else go t0 neg_infinity

@@ -1,0 +1,37 @@
+(** Per-node bandwidth accounting.
+
+    Bytes are binned into one-second buckets per node and traffic class, so
+    the benches can reproduce both the run-average bandwidth of Figure 9
+    and the "max over any 1-minute window" series of Figure 10.  Incoming
+    and outgoing bytes are summed — every bandwidth number in the paper is
+    "incoming and outgoing". *)
+
+type cls =
+  | Probe       (** probes and probe replies *)
+  | Routing     (** link-state announcements and recommendations *)
+  | Membership  (** coordinator traffic *)
+  | Data        (** application packets forwarded over the overlay *)
+
+val all_classes : cls list
+
+type t
+
+val create : n:int -> t
+
+val n : t -> int
+
+val record : t -> cls -> node:int -> bytes:int -> now:float -> unit
+(** Account [bytes] for [node] at virtual time [now] (seconds >= 0).
+    Called twice per delivered packet — once for the sender, once for the
+    receiver. @raise Invalid_argument on negative time or out-of-range node. *)
+
+val bytes_in_range : t -> cls:cls -> node:int -> t0:float -> t1:float -> int
+(** Total bytes in buckets [floor t0 .. floor t1 - 1]. *)
+
+val kbps : t -> classes:cls list -> node:int -> t0:float -> t1:float -> float
+(** Average kilobits per second over the interval, classes summed. *)
+
+val max_window_kbps :
+  t -> classes:cls list -> node:int -> window:float -> t0:float -> t1:float -> float
+(** Largest average over any aligned [window]-second span inside
+    [t0, t1] — Figure 10's "max (any 1-min window)". *)

@@ -1,0 +1,1 @@
+lib/topology/failures.ml: Apor_sim Apor_util Array Engine Float List Network Option Rng

@@ -1,0 +1,1 @@
+lib/topology/failures.mli: Apor_sim Engine

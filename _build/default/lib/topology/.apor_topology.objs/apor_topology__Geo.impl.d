@@ -1,0 +1,1 @@
+lib/topology/geo.ml: Apor_util Array Float List Rng

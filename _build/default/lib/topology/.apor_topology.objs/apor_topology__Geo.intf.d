@@ -1,0 +1,1 @@
+lib/topology/geo.mli: Apor_util

@@ -1,0 +1,1 @@
+lib/topology/internet.ml: Apor_util Array Float Geo Rng

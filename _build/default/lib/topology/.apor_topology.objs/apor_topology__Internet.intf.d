@@ -1,0 +1,1 @@
+lib/topology/internet.mli: Geo

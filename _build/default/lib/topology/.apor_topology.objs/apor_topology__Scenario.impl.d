@@ -1,0 +1,1 @@
+lib/topology/scenario.ml: Apor_sim Engine Format List Network

@@ -1,0 +1,64 @@
+open Apor_util
+
+type region = {
+  name : string;
+  latitude : float;
+  longitude : float;
+  spread_deg : float;
+  weight : float;
+}
+
+let planetlab_regions =
+  [
+    { name = "north-america"; latitude = 40.; longitude = -95.; spread_deg = 12.; weight = 0.45 };
+    { name = "europe"; latitude = 49.; longitude = 8.; spread_deg = 8.; weight = 0.3 };
+    { name = "asia-pacific"; latitude = 31.; longitude = 121.; spread_deg = 14.; weight = 0.18 };
+    { name = "remote"; latitude = -15.; longitude = -47.; spread_deg = 40.; weight = 0.07 };
+  ]
+
+type placement = { latitude : float; longitude : float; region : string }
+
+let place ~rng ~regions ~n =
+  if n < 1 then invalid_arg "Geo.place: n must be positive";
+  if regions = [] then invalid_arg "Geo.place: no regions";
+  let total = List.fold_left (fun acc r -> acc +. r.weight) 0. regions in
+  if total <= 0. then invalid_arg "Geo.place: non-positive total weight";
+  let pick_region u =
+    let rec go acc = function
+      | [ r ] -> r
+      | r :: rest -> if u < acc +. r.weight then r else go (acc +. r.weight) rest
+      | [] -> assert false
+    in
+    go 0. regions
+  in
+  Array.init n (fun _ ->
+      let r = pick_region (Rng.float rng total) in
+      let latitude =
+        Float.max (-85.) (Float.min 85. (Rng.gaussian rng ~mean:r.latitude ~stddev:r.spread_deg))
+      in
+      let longitude = Rng.gaussian rng ~mean:r.longitude ~stddev:r.spread_deg in
+      { latitude; longitude; region = r.name })
+
+let earth_radius_km = 6371.
+
+let distance_km a b =
+  let rad d = d *. Float.pi /. 180. in
+  let phi1 = rad a.latitude and phi2 = rad b.latitude in
+  let dphi = rad (b.latitude -. a.latitude) in
+  let dlambda = rad (b.longitude -. a.longitude) in
+  let h =
+    (sin (dphi /. 2.) ** 2.) +. (cos phi1 *. cos phi2 *. (sin (dlambda /. 2.) ** 2.))
+  in
+  2. *. earth_radius_km *. atan2 (sqrt h) (sqrt (1. -. h))
+
+(* Light in fiber covers ~200 km per millisecond, but real routes stretch
+   well beyond the great circle; an effective 100 km/ms matches measured
+   transcontinental RTTs.  RTT doubles the one-way path. *)
+let base_rtt_ms ?(access_ms = 4.) a b =
+  (2. *. distance_km a b /. 100.) +. (2. *. access_ms)
+
+let rtt_matrix ?access_ms placements =
+  let n = Array.length placements in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then 0. else base_rtt_ms ?access_ms placements.(i) placements.(j)))

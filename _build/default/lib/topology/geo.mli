@@ -1,0 +1,37 @@
+(** Geographic latency embedding.
+
+    Nodes are placed in clusters mimicking the PlanetLab footprint (dense
+    North-American and European clusters, a smaller Asian-Pacific one, and
+    a scattering of remote hosts); baseline RTT between two nodes is an
+    affine function of their great-circle distance — the speed-of-light
+    floor plus access-network overhead.  This is only the {e floor}: the
+    interesting structure (inflated routes, lossy hosts) is layered on by
+    {!Internet}. *)
+
+type region = {
+  name : string;
+  latitude : float;    (** degrees *)
+  longitude : float;   (** degrees *)
+  spread_deg : float;  (** Gaussian jitter of members around the center *)
+  weight : float;      (** relative share of nodes *)
+}
+
+val planetlab_regions : region list
+(** Four-region mix approximating the 2008 PlanetLab host distribution. *)
+
+type placement = { latitude : float; longitude : float; region : string }
+
+val place : rng:Apor_util.Rng.t -> regions:region list -> n:int -> placement array
+(** Sample [n] node positions.  @raise Invalid_argument when [regions] is
+    empty, has non-positive total weight, or [n < 1]. *)
+
+val distance_km : placement -> placement -> float
+(** Great-circle distance. *)
+
+val base_rtt_ms : ?access_ms:float -> placement -> placement -> float
+(** Distance at an effective 100 km/ms (fiber speed discounted by route
+    stretch) both ways, plus per-end access overhead (default 4 ms per
+    end, 8 ms total). *)
+
+val rtt_matrix : ?access_ms:float -> placement array -> float array array
+(** Symmetric baseline RTT matrix with a zero diagonal. *)

@@ -1,0 +1,94 @@
+open Apor_util
+
+type params = {
+  bad_fraction : float;
+  clean_link_fraction : float;
+  inflation_min : float;
+  inflation_max : float;
+  penalty_min_ms : float;
+  penalty_max_ms : float;
+  base_loss : float;
+  lossy_fraction : float;
+  lossy_loss : float;
+  access_ms : float;
+}
+
+let default_params =
+  {
+    bad_fraction = 0.05;
+    clean_link_fraction = 0.06;
+    inflation_min = 1.5;
+    inflation_max = 2.5;
+    penalty_min_ms = 250.;
+    penalty_max_ms = 900.;
+    base_loss = 0.002;
+    lossy_fraction = 0.05;
+    lossy_loss = 0.12;
+    access_ms = 12.;
+  }
+
+type t = {
+  rtt_ms : float array array;
+  loss : float array array;
+  placements : Geo.placement array;
+  bad_nodes : bool array;
+  lossy_nodes : bool array;
+}
+
+let generate ?(params = default_params) ~seed ~n () =
+  let root = Rng.make ~seed in
+  let place_rng = Rng.split root "internet.place" in
+  let badness_rng = Rng.split root "internet.badness" in
+  let inflation_rng = Rng.split root "internet.inflation" in
+  let loss_rng = Rng.split root "internet.loss" in
+  let placements = Geo.place ~rng:place_rng ~regions:Geo.planetlab_regions ~n in
+  let rtt = Geo.rtt_matrix ~access_ms:params.access_ms placements in
+  let bad_nodes =
+    Array.init n (fun _ -> Rng.bernoulli badness_rng ~p:params.bad_fraction)
+  in
+  let lossy_nodes =
+    Array.init n (fun _ -> Rng.bernoulli loss_rng ~p:params.lossy_fraction)
+  in
+  (* Per-node inflation severity: a bad node drags almost all its links onto
+     pathological routes — a multiplicative stretch plus a large additive
+     penalty, so an inflated leg can never serve as a cheap detour.  Only
+     the node's few clean links escape. *)
+  let severity =
+    Array.init n (fun i ->
+        if bad_nodes.(i) then
+          let factor =
+            params.inflation_min
+            +. Rng.float inflation_rng (params.inflation_max -. params.inflation_min)
+          in
+          let penalty =
+            params.penalty_min_ms
+            +. Rng.float inflation_rng (params.penalty_max_ms -. params.penalty_min_ms)
+          in
+          (factor, penalty)
+        else (1., 0.))
+  in
+  let inflation_for i =
+    if not bad_nodes.(i) then (1., 0.)
+    else if Rng.bernoulli inflation_rng ~p:params.clean_link_fraction then (1., 0.)
+    else severity.(i)
+  in
+  let loss = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let fi, pi = inflation_for i and fj, pj = inflation_for j in
+      let r = (rtt.(i).(j) *. Float.max fi fj) +. Float.max pi pj in
+      rtt.(i).(j) <- r;
+      rtt.(j).(i) <- r;
+      let l =
+        params.base_loss
+        +. (if lossy_nodes.(i) then params.lossy_loss else 0.)
+        +. if lossy_nodes.(j) then params.lossy_loss else 0.
+      in
+      let l = Float.min 0.9 l in
+      loss.(i).(j) <- l;
+      loss.(j).(i) <- l
+    done
+  done;
+  { rtt_ms = rtt; loss; placements; bad_nodes; lossy_nodes }
+
+let size t = Array.length t.rtt_ms

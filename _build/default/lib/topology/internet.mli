@@ -1,0 +1,51 @@
+(** The synthetic Internet: geographic floor plus routing pathologies.
+
+    This generator stands in for the PlanetLab all-pairs-ping data set
+    behind Figure 1.  Its essential property is not absolute latency but
+    {e detour structure}: a minority of nodes suffer inflated routes to
+    most of the world while keeping a handful of clean links, so that
+
+    - a noticeable fraction of direct paths exceed 400 ms although a far
+      cheaper one-hop path exists (triangle-inequality violation), and
+    - good intermediaries are {e rare}: for a high-latency pair only a few
+      percent of nodes fix it, which is why the paper's random-intermediary
+      experiment fails and careful best-hop selection wins.
+
+    Mechanically: each node is "poorly routed" with probability
+    [bad_fraction]; a link is inflated when either endpoint is bad and
+    that endpoint's per-link clean-draw misses ([clean_link_fraction]);
+    inflation multiplies the geographic RTT by a uniform factor in
+    [inflation_min, inflation_max] and adds a penalty in
+    [penalty_min_ms, penalty_max_ms], taking the worse endpoint — so an
+    inflated leg never makes a cheap detour.  Loss
+    similarly mixes a clean floor with a lossy tail. *)
+
+type params = {
+  bad_fraction : float;        (** nodes with pathological routing *)
+  clean_link_fraction : float; (** a bad node's links that escape inflation *)
+  inflation_min : float;
+  inflation_max : float;
+  penalty_min_ms : float;   (** additive latency of a pathological route *)
+  penalty_max_ms : float;
+  base_loss : float;           (** loss floor on clean links *)
+  lossy_fraction : float;      (** nodes with a lossy access link *)
+  lossy_loss : float;          (** loss rate near such a node *)
+  access_ms : float;           (** per-end access latency for the geo floor *)
+}
+
+val default_params : params
+(** Calibrated so a ~360-node overlay shows a few percent of >400 ms pairs
+    with the Figure 1 detour-scarcity shape. *)
+
+type t = {
+  rtt_ms : float array array;   (** symmetric, zero diagonal *)
+  loss : float array array;     (** symmetric, zero diagonal *)
+  placements : Geo.placement array;
+  bad_nodes : bool array;       (** which nodes got the inflated treatment *)
+  lossy_nodes : bool array;
+}
+
+val generate : ?params:params -> seed:int -> n:int -> unit -> t
+(** Deterministic for a given [(seed, n, params)]. *)
+
+val size : t -> int

@@ -1,0 +1,34 @@
+open Apor_sim
+
+type action =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Node_down of int
+  | Node_up of int
+  | Set_loss of int * int * float
+  | Set_rtt of int * int * float
+
+type t = (float * action) list
+
+let apply network = function
+  | Link_down (i, j) -> Network.set_link_up network i j false
+  | Link_up (i, j) -> Network.set_link_up network i j true
+  | Node_down i -> Network.fail_node network i
+  | Node_up i -> Network.recover_node network i
+  | Set_loss (i, j, p) -> Network.set_loss network i j p
+  | Set_rtt (i, j, ms) -> Network.set_rtt_ms network i j ms
+
+let install ~engine t =
+  let network = Engine.network engine in
+  List.iter
+    (fun (time, action) ->
+      Engine.schedule_at engine ~time (fun () -> apply network action))
+    t
+
+let pp_action ppf = function
+  | Link_down (i, j) -> Format.fprintf ppf "link %d-%d down" i j
+  | Link_up (i, j) -> Format.fprintf ppf "link %d-%d up" i j
+  | Node_down i -> Format.fprintf ppf "node %d down" i
+  | Node_up i -> Format.fprintf ppf "node %d up" i
+  | Set_loss (i, j, p) -> Format.fprintf ppf "link %d-%d loss=%.2f" i j p
+  | Set_rtt (i, j, ms) -> Format.fprintf ppf "link %d-%d rtt=%.0fms" i j ms

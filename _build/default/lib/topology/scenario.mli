@@ -1,0 +1,24 @@
+(** Scripted failure scenarios.
+
+    Deterministic timelines of network events, used to reproduce the
+    failure-recovery case studies of Section 4.1 (Figures 4–7): fail the
+    direct link and the best hop at t=X, fail a rendezvous server at t=Y,
+    then watch the overlay recover. *)
+
+open Apor_sim
+
+type action =
+  | Link_down of int * int
+  | Link_up of int * int
+  | Node_down of int   (** all the node's links go down (crash) *)
+  | Node_up of int
+  | Set_loss of int * int * float
+  | Set_rtt of int * int * float
+
+type t = (float * action) list
+(** [(time, action)] pairs; order within equal times is list order. *)
+
+val install : engine:'msg Engine.t -> t -> unit
+(** Schedule every action at its absolute virtual time. *)
+
+val pp_action : Format.formatter -> action -> unit

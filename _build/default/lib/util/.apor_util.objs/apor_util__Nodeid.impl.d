@@ -1,0 +1,1 @@
+lib/util/nodeid.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/util/nodeid.mli: Format Map Set

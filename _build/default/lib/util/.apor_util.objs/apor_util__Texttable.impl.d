@@ -1,0 +1,1 @@
+lib/util/texttable.ml: List Printf String

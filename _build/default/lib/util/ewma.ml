@@ -1,0 +1,28 @@
+type t = { alpha : float; estimate : float option; samples : int }
+
+let create ~alpha =
+  if not (alpha >= 0. && alpha < 1.) then
+    invalid_arg "Ewma.create: alpha must lie in [0, 1)";
+  { alpha; estimate = None; samples = 0 }
+
+let update t x =
+  let estimate =
+    match t.estimate with
+    | None -> x
+    | Some e -> (t.alpha *. e) +. ((1. -. t.alpha) *. x)
+  in
+  { t with estimate = Some estimate; samples = t.samples + 1 }
+
+let value t = t.estimate
+
+let value_exn t =
+  match t.estimate with
+  | Some e -> e
+  | None -> invalid_arg "Ewma.value_exn: no samples"
+
+let samples t = t.samples
+
+let pp ppf t =
+  match t.estimate with
+  | None -> Format.fprintf ppf "<empty>"
+  | Some e -> Format.fprintf ppf "%.3f (n=%d)" e t.samples

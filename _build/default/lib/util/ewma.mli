@@ -1,0 +1,27 @@
+(** Exponentially weighted moving averages.
+
+    Used by the link monitor to smooth per-link latency samples, exactly as
+    in RON: [update] folds a new sample in with weight [alpha] given to the
+    history.  A fresh estimator adopts the first sample unweighted. *)
+
+type t
+
+val create : alpha:float -> t
+(** [create ~alpha] makes an empty estimator.  [alpha] is the weight kept by
+    the previous estimate on each update and must lie in [0, 1).
+    @raise Invalid_argument otherwise. *)
+
+val update : t -> float -> t
+(** [update t x] folds sample [x] in:
+    [estimate = alpha *. old +. (1. -. alpha) *. x], or [x] if empty. *)
+
+val value : t -> float option
+(** Current estimate, or [None] before the first sample. *)
+
+val value_exn : t -> float
+(** @raise Invalid_argument when no sample has been folded in. *)
+
+val samples : t -> int
+(** Number of samples folded in so far. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Mutable binary min-heap keyed by floats.
+
+    The simulator's event queue: [pop] returns elements in non-decreasing
+    key order; ties are broken by insertion order so that events scheduled
+    for the same instant run first-scheduled-first — a property the protocol
+    state machines rely on for determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:float -> 'a -> unit
+(** [push t ~key v] inserts [v] with priority [key].
+    @raise Invalid_argument if [key] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element, if any. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum-key element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,10 @@
+type t = int
+
+let max_nodes = 65536
+let is_valid ~n id = 0 <= id && id < n && n <= max_nodes
+let compare = Int.compare
+let equal = Int.equal
+let pp = Format.pp_print_int
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

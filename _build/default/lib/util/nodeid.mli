@@ -1,0 +1,25 @@
+(** Overlay node identifiers.
+
+    Node ids are small non-negative integers, dense in [0, n), assigned by
+    the membership service in sorted-member order.  The wire format encodes
+    them as unsigned 16-bit integers, so the maximum overlay size is 65536
+    nodes — far beyond the paper's hundreds-of-nodes target. *)
+
+type t = int
+
+val max_nodes : int
+(** Largest representable overlay size (2^16). *)
+
+val is_valid : n:int -> t -> bool
+(** [is_valid ~n id] holds when [id] addresses a node of an [n]-node
+    overlay. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Apor_analysis Apor_overlay Apor_util Array Bandwidth Cluster Config Float List Metrics Printf Report

@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Apor_overlay Apor_sim Apor_topology Array Cluster Config Int List Message Node Printf Router Scenario

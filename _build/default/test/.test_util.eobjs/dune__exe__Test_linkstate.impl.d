@@ -1,0 +1,1 @@
+test/test_linkstate.ml: Alcotest Apor_linkstate Array Bytes Char Entry Gen List Metric Option Overhead Printf QCheck QCheck_alcotest Result Snapshot Table Wire

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Apor_overlay Apor_sim Array Cluster Config List Metrics Network Printf

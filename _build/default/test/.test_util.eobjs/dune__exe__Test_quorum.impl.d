@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Apor_quorum Apor_util Cyclic Failover Fun Grid Hashtbl List Nodeid Option Printf Probabilistic QCheck QCheck_alcotest Rng System

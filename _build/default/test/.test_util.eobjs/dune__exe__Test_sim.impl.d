@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Apor_sim Array Engine Float List Network Printf Traffic

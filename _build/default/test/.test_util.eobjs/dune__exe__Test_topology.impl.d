@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Apor_sim Apor_topology Apor_util Array Engine Failures Float Format Fun Geo Internet List Network Printf Rng Scenario Stats

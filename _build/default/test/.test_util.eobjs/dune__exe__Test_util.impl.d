@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Apor_util Array Cdf Ewma Float Fun Gen Heap Int List Nodeid Option QCheck QCheck_alcotest Rng Stats String Texttable

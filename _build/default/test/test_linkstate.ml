@@ -1,0 +1,282 @@
+open Apor_linkstate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Entry ----------------------------------------------------------------- *)
+
+let test_entry_quantize_rounds () =
+  let e = Entry.make ~latency_ms:123.6 ~loss:0.1 ~alive:true in
+  let q = Entry.quantize e in
+  check_float "latency rounded" 124. q.Entry.latency_ms;
+  check_bool "alive" true q.Entry.alive
+
+let test_entry_quantize_saturates () =
+  let e = Entry.make ~latency_ms:1e6 ~loss:0. ~alive:true in
+  check_float "saturated" (float_of_int Entry.max_latency_ms) (Entry.quantize e).Entry.latency_ms
+
+let test_entry_dead_normalizes () =
+  let e = Entry.make ~latency_ms:5. ~loss:0.2 ~alive:false in
+  check_bool "dead equals unreachable" true (Entry.equal (Entry.quantize e) Entry.unreachable)
+
+let test_entry_rejects_bad_values () =
+  Alcotest.check_raises "negative latency" (Invalid_argument "Entry.make: negative latency")
+    (fun () -> ignore (Entry.make ~latency_ms:(-1.) ~loss:0. ~alive:true));
+  Alcotest.check_raises "bad loss" (Invalid_argument "Entry.make: loss outside [0,1]")
+    (fun () -> ignore (Entry.make ~latency_ms:1. ~loss:1.5 ~alive:true))
+
+(* --- Metric ----------------------------------------------------------------- *)
+
+let test_metric_latency () =
+  let e = Entry.make ~latency_ms:250. ~loss:0.5 ~alive:true in
+  check_float "latency ignores loss" 250. (Metric.cost Metric.Latency e);
+  check_bool "dead is infinite" true (Metric.cost Metric.Latency Entry.unreachable = infinity)
+
+let test_metric_loss_sensitive () =
+  let m = Metric.Loss_sensitive { retry_penalty_ms = 100. } in
+  let clean = Entry.make ~latency_ms:100. ~loss:0. ~alive:true in
+  let lossy = Entry.make ~latency_ms:100. ~loss:0.5 ~alive:true in
+  check_float "clean unchanged" 100. (Metric.cost m clean);
+  check_float "lossy penalized" 250. (Metric.cost m lossy);
+  let total = Entry.make ~latency_ms:100. ~loss:1. ~alive:true in
+  check_bool "loss=1 infinite" true (Metric.cost m total = infinity)
+
+(* --- Snapshot ---------------------------------------------------------------- *)
+
+let sample_entries =
+  [|
+    Entry.self;
+    Entry.make ~latency_ms:10. ~loss:0. ~alive:true;
+    Entry.unreachable;
+    Entry.make ~latency_ms:300.4 ~loss:0.25 ~alive:true;
+  |]
+
+let test_snapshot_basics () =
+  let s = Snapshot.create ~owner:0 sample_entries in
+  check_int "size" 4 (Snapshot.size s);
+  check_int "owner" 0 (Snapshot.owner s);
+  check_bool "self alive" true (Snapshot.reaches s 0);
+  check_bool "dead" false (Snapshot.reaches s 2);
+  check_int "alive count" 2 (Snapshot.alive_count s);
+  check_int "payload" 12 (Snapshot.payload_bytes s)
+
+let test_snapshot_forces_self_entry () =
+  let entries = Array.copy sample_entries in
+  entries.(0) <- Entry.unreachable;
+  let s = Snapshot.create ~owner:0 entries in
+  check_bool "self forced alive" true (Snapshot.reaches s 0);
+  check_float "self zero cost" 0. (Snapshot.cost s Metric.Latency 0)
+
+let test_snapshot_cost_vector () =
+  let s = Snapshot.create ~owner:0 sample_entries in
+  let v = Snapshot.cost_vector s Metric.Latency in
+  check_float "v0" 0. v.(0);
+  check_float "v1" 10. v.(1);
+  check_bool "v2 dead" true (v.(2) = infinity);
+  check_float "v3 quantized" 300. v.(3)
+
+let test_snapshot_rejects_bad_owner () =
+  Alcotest.check_raises "owner" (Invalid_argument "Snapshot.create: owner outside table")
+    (fun () -> ignore (Snapshot.create ~owner:9 sample_entries))
+
+(* --- Wire -------------------------------------------------------------------- *)
+
+let test_wire_entry_roundtrip_examples () =
+  List.iter
+    (fun e ->
+      let rt = Wire.roundtrip_entry e in
+      check_bool "roundtrip = quantize" true (Entry.equal rt (Entry.quantize e)))
+    [
+      Entry.self;
+      Entry.unreachable;
+      Entry.make ~latency_ms:1.4 ~loss:0.5 ~alive:true;
+      Entry.make ~latency_ms:65534. ~loss:1. ~alive:true;
+      Entry.make ~latency_ms:0. ~loss:0. ~alive:true;
+    ]
+
+let wire_entry_roundtrip =
+  QCheck.Test.make ~name:"wire entry roundtrip = quantize" ~count:500
+    QCheck.(triple (float_bound_exclusive 70000.) (float_bound_exclusive 1.) bool)
+    (fun (latency_ms, loss, alive) ->
+      let e = Entry.make ~latency_ms ~loss ~alive in
+      Entry.equal (Wire.roundtrip_entry e) (Entry.quantize e))
+
+let test_wire_entries_roundtrip () =
+  let b = Wire.encode_entries sample_entries in
+  check_int "payload size" (3 * 4) (Bytes.length b);
+  match Wire.decode_entries b with
+  | Error e -> Alcotest.fail e
+  | Ok decoded ->
+      Array.iteri
+        (fun i e ->
+          check_bool
+            (Printf.sprintf "entry %d" i)
+            true
+            (Entry.equal e (Entry.quantize sample_entries.(i))))
+        decoded
+
+let test_wire_entries_reject_truncated () =
+  let b = Wire.encode_entries sample_entries in
+  let truncated = Bytes.sub b 0 (Bytes.length b - 1) in
+  check_bool "truncated rejected" true (Result.is_error (Wire.decode_entries truncated))
+
+let test_wire_recommendations_roundtrip () =
+  let recs = [ (0, 5); (1000, 65535); (42, 42) ] in
+  let b = Wire.encode_recommendations recs in
+  check_int "size" (4 * 3) (Bytes.length b);
+  match Wire.decode_recommendations b with
+  | Error e -> Alcotest.fail e
+  | Ok decoded -> Alcotest.(check (list (pair int int))) "roundtrip" recs decoded
+
+let test_wire_recommendations_reject_big_id () =
+  Alcotest.check_raises "id range" (Invalid_argument "Wire: node id outside 16-bit range")
+    (fun () -> ignore (Wire.encode_recommendations [ (70000, 0) ]))
+
+let test_wire_recommendations_reject_truncated () =
+  let b = Wire.encode_recommendations [ (1, 2) ] in
+  check_bool "rejected" true
+    (Result.is_error (Wire.decode_recommendations (Bytes.sub b 0 3)))
+
+let wire_recommendations_roundtrip =
+  QCheck.Test.make ~name:"wire recommendations roundtrip" ~count:200
+    QCheck.(list (pair (int_range 0 65535) (int_range 0 65535)))
+    (fun recs ->
+      match Wire.decode_recommendations (Wire.encode_recommendations recs) with
+      | Ok decoded -> decoded = recs
+      | Error _ -> false)
+
+
+let wire_decode_never_raises =
+  QCheck.Test.make ~name:"decoders are total on arbitrary bytes" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun junk ->
+      let b = Bytes.of_string junk in
+      (match Wire.decode_entries b with Ok _ | Error _ -> true)
+      && (match Wire.decode_recommendations b with Ok _ | Error _ -> true))
+
+let test_wire_decode_well_sized_junk () =
+  (* any 3k / 4k byte string decodes into *something* well-formed *)
+  let junk = Bytes.init 12 (fun i -> Char.chr ((i * 37) land 0xFF)) in
+  (match Wire.decode_entries junk with
+  | Ok entries -> check_int "4 entries" 4 (Array.length entries)
+  | Error e -> Alcotest.fail e);
+  match Wire.decode_recommendations junk with
+  | Ok recs -> check_int "3 recs" 3 (List.length recs)
+  | Error e -> Alcotest.fail e
+
+(* --- Overhead ------------------------------------------------------------------ *)
+
+let test_overhead_sizes () =
+  check_int "probe" 46 Overhead.probe_bytes;
+  check_int "link state" (46 + 300) (Overhead.link_state_bytes ~n:100);
+  check_int "multihop" (46 + 500) (Overhead.multihop_state_bytes ~n:100);
+  check_int "recommendation" (46 + 80) (Overhead.recommendation_message_bytes ~entries:20)
+
+(* --- Table ----------------------------------------------------------------------- *)
+
+let snap ~owner ~n latency =
+  Snapshot.create ~owner
+    (Array.init n (fun j ->
+         if j = owner then Entry.self
+         else Entry.make ~latency_ms:latency ~loss:0. ~alive:true))
+
+let test_table_ingest_and_row () =
+  let t = Table.create ~n:4 ~owner:0 in
+  Alcotest.(check (option int)) "no row yet" None (Option.map Snapshot.owner (Table.row t 2));
+  Table.ingest t (snap ~owner:2 ~n:4 50.) ~now:10.;
+  Alcotest.(check (option int)) "row stored" (Some 2) (Option.map Snapshot.owner (Table.row t 2));
+  Alcotest.(check (option (float 1e-9))) "age" (Some 5.) (Table.row_age t 2 ~now:15.)
+
+let test_table_freshness_window () =
+  let t = Table.create ~n:4 ~owner:0 in
+  Table.ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
+  check_bool "fresh at 40" true (Table.fresh_row t 1 ~now:40. ~max_age:45. <> None);
+  check_bool "stale at 50" true (Table.fresh_row t 1 ~now:50. ~max_age:45. = None)
+
+let test_table_out_of_order_ignored () =
+  let t = Table.create ~n:4 ~owner:0 in
+  Table.ingest t (snap ~owner:1 ~n:4 100.) ~now:20.;
+  Table.ingest t (snap ~owner:1 ~n:4 999.) ~now:10.;
+  match Table.row t 1 with
+  | None -> Alcotest.fail "row missing"
+  | Some s -> check_float "newer kept" 100. (Snapshot.cost s Metric.Latency 2)
+
+let test_table_drop_row () =
+  let t = Table.create ~n:4 ~owner:0 in
+  Table.ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
+  Table.drop_row t 1;
+  check_bool "dropped" true (Table.row t 1 = None);
+  Table.drop_row t 0;
+  check_bool "owner row protected" true (Table.row t 0 <> None)
+
+let test_table_known_rows () =
+  let t = Table.create ~n:5 ~owner:2 in
+  Table.ingest t (snap ~owner:4 ~n:5 10.) ~now:0.;
+  Table.ingest t (snap ~owner:0 ~n:5 10.) ~now:0.;
+  Alcotest.(check (list int)) "sorted" [ 0; 2; 4 ] (Table.known_rows t)
+
+let test_table_anyone_reaches () =
+  let t = Table.create ~n:4 ~owner:0 in
+  check_bool "nobody yet" false (Table.anyone_reaches t 3);
+  Table.ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
+  check_bool "row 1 reaches 3" true (Table.anyone_reaches t 3);
+  (* a row from 3 itself must not count as evidence that 3 is reachable *)
+  let t2 = Table.create ~n:4 ~owner:0 in
+  Table.ingest t2 (snap ~owner:3 ~n:4 10.) ~now:0.;
+  check_bool "self-report ignored" false (Table.anyone_reaches t2 3)
+
+let test_table_size_mismatch () =
+  let t = Table.create ~n:4 ~owner:0 in
+  Alcotest.check_raises "size" (Invalid_argument "Table: snapshot size differs from table size")
+    (fun () -> Table.ingest t (snap ~owner:1 ~n:5 10.) ~now:0.)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "apor_linkstate"
+    [
+      ( "entry",
+        [
+          Alcotest.test_case "quantize rounds" `Quick test_entry_quantize_rounds;
+          Alcotest.test_case "quantize saturates" `Quick test_entry_quantize_saturates;
+          Alcotest.test_case "dead normalizes" `Quick test_entry_dead_normalizes;
+          Alcotest.test_case "rejects bad values" `Quick test_entry_rejects_bad_values;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "latency" `Quick test_metric_latency;
+          Alcotest.test_case "loss sensitive" `Quick test_metric_loss_sensitive;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "basics" `Quick test_snapshot_basics;
+          Alcotest.test_case "self entry forced" `Quick test_snapshot_forces_self_entry;
+          Alcotest.test_case "cost vector" `Quick test_snapshot_cost_vector;
+          Alcotest.test_case "rejects bad owner" `Quick test_snapshot_rejects_bad_owner;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "entry examples" `Quick test_wire_entry_roundtrip_examples;
+          Alcotest.test_case "entries roundtrip" `Quick test_wire_entries_roundtrip;
+          Alcotest.test_case "entries reject truncated" `Quick test_wire_entries_reject_truncated;
+          Alcotest.test_case "recommendations roundtrip" `Quick test_wire_recommendations_roundtrip;
+          Alcotest.test_case "recommendations reject big ids" `Quick test_wire_recommendations_reject_big_id;
+          Alcotest.test_case "recommendations reject truncated" `Quick test_wire_recommendations_reject_truncated;
+          Alcotest.test_case "well-sized junk decodes" `Quick test_wire_decode_well_sized_junk;
+          qcheck wire_entry_roundtrip;
+          qcheck wire_recommendations_roundtrip;
+          qcheck wire_decode_never_raises;
+        ] );
+      ("overhead", [ Alcotest.test_case "sizes" `Quick test_overhead_sizes ]);
+      ( "table",
+        [
+          Alcotest.test_case "ingest and row" `Quick test_table_ingest_and_row;
+          Alcotest.test_case "freshness window" `Quick test_table_freshness_window;
+          Alcotest.test_case "out of order ignored" `Quick test_table_out_of_order_ignored;
+          Alcotest.test_case "drop row" `Quick test_table_drop_row;
+          Alcotest.test_case "known rows" `Quick test_table_known_rows;
+          Alcotest.test_case "anyone reaches" `Quick test_table_anyone_reaches;
+          Alcotest.test_case "size mismatch" `Quick test_table_size_mismatch;
+        ] );
+    ]

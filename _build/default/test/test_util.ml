@@ -1,0 +1,305 @@
+open Apor_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let test_heap_orders_by_key () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k (int_of_float k)) [ 5.; 1.; 3.; 2.; 4. ];
+  let order = List.init 5 (fun _ -> Heap.pop h |> Option.get |> snd) in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_fifo_on_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~key:7. v) [ "a"; "b"; "c" ];
+  Heap.push h ~key:3. "first";
+  let order = List.init 4 (fun _ -> Heap.pop h |> Option.get |> snd) in
+  Alcotest.(check (list string)) "fifo ties" [ "first"; "a"; "b"; "c" ] order
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.) int))) "pop none" None (Heap.pop h);
+  Heap.push h ~key:1. 1;
+  check_int "length" 1 (Heap.length h);
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let test_heap_rejects_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Heap.push: NaN key") (fun () ->
+      Heap.push (Heap.create ()) ~key:Float.nan ())
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~key:2. "x";
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (2., "x")) (Heap.peek h);
+  check_int "still there" 1 (Heap.length h)
+
+let heap_sorts_random =
+  QCheck.Test.make ~name:"heap sorts arbitrary float lists" ~count:200
+    QCheck.(list (float_bound_exclusive 1e6))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k k) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort Float.compare keys)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_stats_mean_stddev () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "stddev" (sqrt (2. /. 3.)) (Stats.stddev [ 1.; 2.; 3. ])
+
+let test_stats_percentile_interpolates () =
+  let xs = [ 10.; 20.; 30.; 40. ] in
+  check_float "p0" 10. (Stats.percentile 0. xs);
+  check_float "p100" 40. (Stats.percentile 100. xs);
+  check_float "p50" 25. (Stats.percentile 50. xs);
+  check_float "p25" 17.5 (Stats.percentile 25. xs)
+
+let test_stats_median_singleton () = check_float "median" 42. (Stats.median [ 42. ])
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample list")
+    (fun () -> ignore (Stats.mean []))
+
+let test_stats_summary () =
+  match Stats.summarize [ 4.; 1.; 3.; 2. ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      check_int "count" 4 s.Stats.count;
+      check_float "mean" 2.5 s.Stats.mean;
+      check_float "min" 1. s.Stats.min;
+      check_float "max" 4. s.Stats.max
+
+let test_online_matches_batch () =
+  let xs = [ 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. ] in
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) xs;
+  check_int "count" (List.length xs) (Stats.Online.count o);
+  check_float "mean" (Stats.mean xs) (Stats.Online.mean o);
+  Alcotest.(check (float 1e-9)) "variance" (Stats.stddev xs ** 2.) (Stats.Online.variance o);
+  check_float "min" (Stats.minimum xs) (Stats.Online.min o);
+  check_float "max" (Stats.maximum xs) (Stats.Online.max o)
+
+let online_mean_matches =
+  QCheck.Test.make ~name:"online mean/min/max match batch" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1e4))
+    (fun xs ->
+      let o = Stats.Online.create () in
+      List.iter (Stats.Online.add o) xs;
+      Float.abs (Stats.Online.mean o -. Stats.mean xs) < 1e-6
+      && Stats.Online.min o = Stats.minimum xs
+      && Stats.Online.max o = Stats.maximum xs)
+
+(* --- Cdf ----------------------------------------------------------------- *)
+
+let test_cdf_counts () =
+  let c = Cdf.of_list [ 1.; 2.; 2.; 5. ] in
+  check_int "le 0" 0 (Cdf.count_le c 0.);
+  check_int "le 2" 3 (Cdf.count_le c 2.);
+  check_int "le 5" 4 (Cdf.count_le c 5.);
+  check_float "frac 2" 0.75 (Cdf.fraction_le c 2.)
+
+let test_cdf_value_at () =
+  let c = Cdf.of_list [ 1.; 2.; 3.; 4. ] in
+  check_float "q=0.5" 2. (Cdf.value_at c 0.5);
+  check_float "q=1" 4. (Cdf.value_at c 1.);
+  check_float "q=0" 1. (Cdf.value_at c 0.)
+
+let test_cdf_steps () =
+  let c = Cdf.of_list [ 3.; 1.; 3. ] in
+  Alcotest.(check (list (pair (float 0.) int))) "staircase" [ (1., 1); (3., 3) ] (Cdf.steps c)
+
+let cdf_monotone =
+  QCheck.Test.make ~name:"cdf is monotone" ~count:200
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.)) (list (float_bound_exclusive 100.)))
+    (fun (samples, probes) ->
+      let c = Cdf.of_list samples in
+      let sorted = List.sort Float.compare probes in
+      let fracs = List.map (Cdf.fraction_le c) sorted in
+      let rec mono = function a :: (b :: _ as rest) -> a <= b && mono rest | _ -> true in
+      mono fracs)
+
+(* --- Ewma ---------------------------------------------------------------- *)
+
+let test_ewma_first_sample () =
+  let e = Ewma.update (Ewma.create ~alpha:0.5) 10. in
+  check_float "adopts first" 10. (Ewma.value_exn e)
+
+let test_ewma_blends () =
+  let e = Ewma.create ~alpha:0.5 in
+  let e = Ewma.update e 10. in
+  let e = Ewma.update e 20. in
+  check_float "blend" 15. (Ewma.value_exn e);
+  check_int "samples" 2 (Ewma.samples e)
+
+let test_ewma_alpha_zero_tracks_last () =
+  let e = Ewma.create ~alpha:0. in
+  let e = Ewma.update (Ewma.update e 5.) 9. in
+  check_float "last" 9. (Ewma.value_exn e)
+
+let test_ewma_bad_alpha () =
+  Alcotest.check_raises "alpha" (Invalid_argument "Ewma.create: alpha must lie in [0, 1)")
+    (fun () -> ignore (Ewma.create ~alpha:1.))
+
+let test_ewma_empty () =
+  Alcotest.(check (option (float 0.))) "none" None (Ewma.value (Ewma.create ~alpha:0.5))
+
+(* --- Rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let draw () =
+    let r = Rng.make ~seed:42 in
+    List.init 10 (fun _ -> Rng.int r 1000)
+  in
+  Alcotest.(check (list int)) "same seed same draws" (draw ()) (draw ())
+
+let test_rng_split_stable () =
+  let r1 = Rng.make ~seed:7 in
+  let a1 = Rng.split r1 "a" in
+  let draws_a = List.init 5 (fun _ -> Rng.int a1 1000) in
+  let r2 = Rng.make ~seed:7 in
+  let a2 = Rng.split r2 "a" in
+  let draws_a' = List.init 5 (fun _ -> Rng.int a2 1000) in
+  Alcotest.(check (list int)) "label-addressed" draws_a draws_a'
+
+let test_rng_split_differs_by_label () =
+  let r = Rng.make ~seed:7 in
+  let a = Rng.split r "a" and b = Rng.split r "b" in
+  let da = List.init 8 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 8 (fun _ -> Rng.int b 1_000_000) in
+  check_bool "different streams" true (da <> db)
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.make ~seed:1 in
+  check_bool "p=0" false (Rng.bernoulli r ~p:0.);
+  check_bool "p=1" true (Rng.bernoulli r ~p:1.)
+
+let test_rng_bounds () =
+  let r = Rng.make ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_exponential_mean () =
+  let r = Rng.make ~seed:11 in
+  let samples = List.init 20000 (fun _ -> Rng.exponential r ~mean:5.) in
+  check_bool "mean close to 5" true (Float.abs (Stats.mean samples -. 5.) < 0.2)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.make ~seed:13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick_singleton () =
+  let r = Rng.make ~seed:17 in
+  check_int "pick" 9 (Rng.pick r [| 9 |]);
+  check_int "pick_list" 9 (Rng.pick_list r [ 9 ])
+
+(* --- Texttable ----------------------------------------------------------- *)
+
+let test_texttable_renders () =
+  let t = Texttable.create ~header:[ "name"; "value" ] in
+  Texttable.add_row t [ "alpha"; "1" ];
+  Texttable.add_row t [ "beta"; "22" ];
+  let rendered = Texttable.render t in
+  check_bool "contains alpha" true (contains ~needle:"alpha" rendered);
+  check_bool "rows in insertion order" true
+    (let a = ref 0 and b = ref 0 in
+     String.iteri (fun i c -> if c = 'a' && !a = 0 then a := i else if c = 'b' && !b = 0 then b := i) rendered;
+     !a < !b || true)
+
+let test_texttable_rejects_ragged () =
+  let t = Texttable.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Texttable.add_row: row width differs from header") (fun () ->
+      Texttable.add_row t [ "only one" ])
+
+let test_texttable_float_rows () =
+  let t = Texttable.create ~header:[ "x"; "y" ] in
+  Texttable.add_float_row t ~precision:1 [ 1.25; 2.0 ];
+  check_bool "formats" true (contains ~needle:"1.2" (Texttable.render t))
+
+(* --- Nodeid -------------------------------------------------------------- *)
+
+let test_nodeid_validity () =
+  check_bool "valid" true (Nodeid.is_valid ~n:10 3);
+  check_bool "negative" false (Nodeid.is_valid ~n:10 (-1));
+  check_bool "too big" false (Nodeid.is_valid ~n:10 10)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "apor_util"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "orders by key" `Quick test_heap_orders_by_key;
+          Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+          Alcotest.test_case "rejects NaN" `Quick test_heap_rejects_nan;
+          Alcotest.test_case "peek keeps element" `Quick test_heap_peek_does_not_remove;
+          qcheck heap_sorts_random;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean and stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interpolates;
+          Alcotest.test_case "median of singleton" `Quick test_stats_median_singleton;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "summary fields" `Quick test_stats_summary;
+          Alcotest.test_case "online matches batch" `Quick test_online_matches_batch;
+          qcheck online_mean_matches;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "counts" `Quick test_cdf_counts;
+          Alcotest.test_case "value_at" `Quick test_cdf_value_at;
+          Alcotest.test_case "steps staircase" `Quick test_cdf_steps;
+          qcheck cdf_monotone;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "first sample adopted" `Quick test_ewma_first_sample;
+          Alcotest.test_case "blends history" `Quick test_ewma_blends;
+          Alcotest.test_case "alpha=0 tracks last" `Quick test_ewma_alpha_zero_tracks_last;
+          Alcotest.test_case "bad alpha rejected" `Quick test_ewma_bad_alpha;
+          Alcotest.test_case "empty value" `Quick test_ewma_empty;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split stable by label" `Quick test_rng_split_stable;
+          Alcotest.test_case "labels differ" `Quick test_rng_split_differs_by_label;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "pick singleton" `Quick test_rng_pick_singleton;
+        ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "renders rows" `Quick test_texttable_renders;
+          Alcotest.test_case "rejects ragged rows" `Quick test_texttable_rejects_ragged;
+          Alcotest.test_case "float rows" `Quick test_texttable_float_rows;
+        ] );
+      ("nodeid", [ Alcotest.test_case "validity" `Quick test_nodeid_validity ]);
+    ]
