@@ -17,18 +17,30 @@ type results = {
   double_sampler : Metrics.Double_failures.t;
   freshness_sampler : Metrics.Freshness.t;
   cluster : Cluster.t;
+  collector : Apor_trace.Collector.t option;
   t0 : float;
   t1 : float;
 }
 
-let run ~quick ~seed =
+let run ~quick ~seed ~trace =
   let n = 140 in
   (* paper: 136 minutes of deployment; quick mode keeps the shape at 40 min *)
   let duration = if quick then 2400. else 8160. in
   let world = Internet.generate ~seed ~n () in
+  let collector, sink =
+    match trace with
+    | None -> (None, None)
+    | Some path ->
+        let tr = Apor_trace.Collector.create ~capacity:(1 lsl 16) () in
+        let oc = open_out path in
+        (* protocol events only: engine events at 140 nodes would swamp
+           the JSONL file thousands to one *)
+        Apor_trace.Collector.set_sink ~kinds:Apor_trace.Event.Kind.protocol tr oc;
+        (Some tr, Some oc)
+  in
   let cluster =
     Cluster.create ~config:Config.quorum_default ~rtt_ms:world.Internet.rtt_ms
-      ~loss:world.Internet.loss ~seed ()
+      ~loss:world.Internet.loss ?trace:collector ~seed ()
   in
   let (_ : Failures.t) =
     Failures.install ~engine:(Cluster.engine cluster) ~profile:Failures.planetlab ~seed ()
@@ -43,7 +55,13 @@ let run ~quick ~seed =
   let wall0 = Unix.gettimeofday () in
   Cluster.run_until cluster t1;
   Printf.printf "(%.0f s of wall-clock time)\n%!" (Unix.gettimeofday () -. wall0);
-  { n; duration; failure_sampler; double_sampler; freshness_sampler; cluster; t0; t1 }
+  (match (sink, trace) with
+  | Some oc, Some path ->
+      Apor_trace.Collector.clear_sink (Option.get collector);
+      close_out oc;
+      Printf.printf "(protocol trace written to %s)\n%!" path
+  | _ -> ());
+  { n; duration; failure_sampler; double_sampler; freshness_sampler; cluster; collector; t0; t1 }
 
 (* --- Figure 8: concurrent link failures per node ----------------------------- *)
 
@@ -148,10 +166,18 @@ let fig13_14 r =
   Printf.printf "node %d, %.1f concurrent link failures on average\n" poor poor_f;
   print_freshness_rows (Metrics.Freshness.per_destination_summaries r.freshness_sampler ~src:poor)
 
-let all ~quick ~seed =
-  let r = run ~quick ~seed in
+let trace_summary r =
+  match r.collector with
+  | None -> ()
+  | Some tr ->
+      section "Trace summary (event stream over the measurement window)";
+      Trace_report.print tr ~n:r.n ~t0:r.t0 ~t1:r.t1
+
+let all ~quick ~seed ?trace () =
+  let r = run ~quick ~seed ~trace in
   fig8 r;
   fig10 r;
   fig11 r;
   fig12 r;
-  fig13_14 r
+  fig13_14 r;
+  trace_summary r

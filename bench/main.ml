@@ -9,14 +9,14 @@
 
    Output is plain text with gnuplot-style data blocks. *)
 
-let experiments ~quick ~seed =
+let experiments ~quick ~seed ~trace =
   [
     ("table-config", fun () -> Experiments.table_config ());
     ("fig1", fun () -> Experiments.fig1 ~quick ~seed);
     ("fig3", fun () -> Experiments.fig3 ());
     ("theory", fun () -> Experiments.theory ());
     ("fig9", fun () -> Experiments.fig9 ~quick ~seed);
-    ("deploy", fun () -> Deployment.all ~quick ~seed);
+    ("deploy", fun () -> Deployment.all ~quick ~seed ?trace ());
     ("availability", fun () -> Experiments.availability ~quick ~seed);
     ("quorum-compare", fun () -> Experiments.quorum_compare ());
     ("ablation", fun () -> Ablation.run ~seed);
@@ -50,6 +50,7 @@ let () =
   let only = ref [] in
   let list_only = ref false in
   let out_dir = ref None in
+  let trace_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -67,13 +68,18 @@ let () =
     | "--out" :: dir :: rest ->
         out_dir := Some dir;
         parse rest
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "unknown argument %S\n(--quick | --seed N | --only a,b | --out DIR | --list)\n" arg;
+          "unknown argument %S\n\
+           (--quick | --seed N | --only a,b | --out DIR | --trace FILE | --list)\n"
+          arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let all = experiments ~quick:!quick ~seed:!seed in
+  let all = experiments ~quick:!quick ~seed:!seed ~trace:!trace_file in
   if !list_only then begin
     List.iter (fun (name, _) -> print_endline name) all;
     exit 0

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 CI gate: build, run the test suite, and make sure no build
+# artifacts ever sneak back into version control.
+set -eu
+cd "$(dirname "$0")"
+
+if git ls-files -- _build | grep -q .; then
+  echo "ci: _build/ artifacts are tracked in git; run 'git rm -r --cached _build'" >&2
+  exit 1
+fi
+
+dune build
+dune runtest

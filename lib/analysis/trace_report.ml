@@ -1,0 +1,67 @@
+open Apor_util
+open Apor_trace
+
+type totals = {
+  emitted : int;
+  retained : int;
+  sends : int;
+  delivers : int;
+  drops : int;
+  protocol : int;
+}
+
+let totals tr =
+  let sends = ref 0 and delivers = ref 0 and drops = ref 0 and protocol = ref 0 in
+  Collector.iter tr (fun tv ->
+      match Event.kind tv.Collector.event with
+      | Event.Kind.Send -> incr sends
+      | Event.Kind.Deliver -> incr delivers
+      | Event.Kind.Drop -> incr drops
+      | _ -> incr protocol);
+  {
+    emitted = Collector.total tr;
+    retained = Collector.length tr;
+    sends = !sends;
+    delivers = !delivers;
+    drops = !drops;
+    protocol = !protocol;
+  }
+
+let latency_summary ?t0 ?t1 tr =
+  Stats.summarize (Query.recommendation_latencies ?t0 ?t1 tr)
+
+let busiest_nodes ?(k = 5) tr ~n =
+  let counts = Query.per_node_messages tr ~n in
+  let indexed =
+    Array.to_list (Array.mapi (fun node (sent, received) -> (node, sent, received)) counts)
+  in
+  indexed
+  |> List.sort (fun (_, s1, r1) (_, s2, r2) -> compare (s2 + r2, s2) (s1 + r1, s1))
+  |> List.filteri (fun i _ -> i < k)
+
+let print tr ~n ~t0 ~t1 =
+  let t = totals tr in
+  Printf.printf "trace: %d events emitted, %d retained (ring capacity %d)\n" t.emitted
+    t.retained (Collector.capacity tr);
+  Printf.printf "retained mix: %d sends, %d delivers, %d drops, %d protocol\n" t.sends
+    t.delivers t.drops t.protocol;
+  (match latency_summary ~t0 ~t1 tr with
+  | Some s ->
+      Printf.printf
+        "recommendation latency: median %.2f s, p97 %.2f s, max %.2f s (%d samples)\n"
+        s.Stats.p50 s.Stats.p97 s.Stats.max s.Stats.count
+  | None -> Printf.printf "recommendation latency: no samples retained\n");
+  let spans = Query.failover_spans ~t0 ~t1 tr in
+  let still_open =
+    List.length (List.filter (fun sp -> sp.Query.ended = None) spans)
+  in
+  Printf.printf "failover episodes in window: %d (%d still open)\n" (List.length spans)
+    still_open;
+  match busiest_nodes tr ~n with
+  | [] -> ()
+  | top ->
+      Printf.printf "busiest nodes (retained packets sent/received):";
+      List.iter
+        (fun (node, sent, received) -> Printf.printf " %d:%d/%d" node sent received)
+        top;
+      print_newline ()

@@ -1,0 +1,27 @@
+(** Render a collected trace the way the bench output does: volume totals,
+    recommendation-latency percentiles, failover timeline.  Counters cover
+    the collector's retained ring; [emitted] is the lifetime count. *)
+
+open Apor_util
+open Apor_trace
+
+type totals = {
+  emitted : int;  (** events ever emitted, including overwritten ones *)
+  retained : int;
+  sends : int;
+  delivers : int;
+  drops : int;
+  protocol : int;  (** retained non-engine events *)
+}
+
+val totals : Collector.t -> totals
+
+val latency_summary : ?t0:float -> ?t1:float -> Collector.t -> Stats.summary option
+(** Percentiles of {!Apor_trace.Query.recommendation_latencies}. *)
+
+val busiest_nodes : ?k:int -> Collector.t -> n:int -> (int * int * int) list
+(** Top [k] (default 5) nodes by retained engine-event count:
+    [(node, sent, received)], busiest first. *)
+
+val print : Collector.t -> n:int -> t0:float -> t1:float -> unit
+(** Print the whole summary to stdout, bench-style. *)

@@ -22,7 +22,7 @@ let pad_matrix m extra ~fill =
           else if i < n && j < n then m.(i).(j)
           else fill))
 
-let create ~config ~rtt_ms ?loss ?(membership = Static) ~seed () =
+let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ~seed () =
   let n = Array.length rtt_ms in
   if n < 2 then invalid_arg "Cluster.create: need at least two nodes";
   let with_coordinator, coordinator_rtt =
@@ -35,6 +35,31 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ~seed () =
   let loss_full = Option.map (fun l -> pad_matrix l extra ~fill:0.) loss in
   let network = Network.create ~rtt_ms:rtt_full ?loss:loss_full ~seed () in
   let engine = Engine.create ~network in
+  (* Point the collector at the virtual clock and mirror every packet's
+     fate into the trace before wiring anything that can send. *)
+  (match trace with
+  | Some tr ->
+      Apor_trace.Collector.set_clock tr (fun () -> Engine.now engine);
+      Engine.set_tap engine
+        (Some
+           {
+             Engine.on_send =
+               (fun ~cls ~src ~dst ~bytes ->
+                 Apor_trace.Collector.emit tr
+                   (Apor_trace.Event.Send { cls; src; dst; bytes }));
+             on_deliver =
+               (fun ~cls ~src ~dst ~bytes ->
+                 Apor_trace.Collector.emit tr
+                   (Apor_trace.Event.Deliver { cls; src; dst; bytes }));
+             on_drop =
+               (fun ~cls ~src ~dst ~bytes ->
+                 Apor_trace.Collector.emit tr
+                   (Apor_trace.Event.Drop { cls; src; dst; bytes }));
+           })
+  | None -> ());
+  let node_trace =
+    Option.map (fun tr ev -> Apor_trace.Collector.emit tr ev) trace
+  in
   let root = Rng.make ~seed in
   let coordinator_port = if with_coordinator then Some n else None in
   let send_from src_port ~dst_port msg =
@@ -45,6 +70,7 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ~seed () =
   let nodes =
     Array.init n (fun port ->
         Node.create ~config ~port ~capacity:(n + extra) ?coordinator_port
+          ?trace:node_trace
           ~rng:(Rng.split root (Printf.sprintf "node.%d" port))
           {
             Node.now = (fun () -> Engine.now engine);

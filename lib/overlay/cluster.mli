@@ -20,12 +20,17 @@ val create :
   rtt_ms:float array array ->
   ?loss:float array array ->
   ?membership:membership ->
+  ?trace:Apor_trace.Collector.t ->
   seed:int ->
   unit ->
   t
 (** [rtt_ms]/[loss] cover the [n] overlay nodes; with a coordinator the
     network gains one extra endpoint whose links have the given RTT and no
-    loss. @raise Invalid_argument on malformed matrices. *)
+    loss.  A [trace] collector is pointed at the engine's virtual clock and
+    receives every engine event (send/deliver/drop) plus every node's
+    protocol events; attach sinks, subscribers or an
+    {!Apor_trace.Oracle} to it before calling {!start}.
+    @raise Invalid_argument on malformed matrices. *)
 
 val n : t -> int
 (** Number of overlay nodes (excluding any coordinator). *)

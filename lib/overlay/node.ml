@@ -22,7 +22,7 @@ type t = {
   mutable joined : bool;
 }
 
-let create ~config ~port ~capacity ?coordinator_port ~rng cb =
+let create ~config ~port ~capacity ?coordinator_port ?trace ~rng cb =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Node.create: " ^ msg));
@@ -52,6 +52,7 @@ let create ~config ~port ~capacity ?coordinator_port ~rng cb =
     | Config.Quorum ->
         Quorum
           (Router.create ~config ~self_port:port ~rng:(Rng.split rng "router") ~monitor
+             ?trace
              {
                Router.now = cb.now;
                send = (fun ~dst_port msg -> cb.send ~dst_port msg);

@@ -20,12 +20,15 @@ val create :
   port:int ->
   capacity:int ->
   ?coordinator_port:int ->
+  ?trace:(Apor_trace.Event.t -> unit) ->
   rng:Apor_util.Rng.t ->
   callbacks ->
   t
 (** [capacity] is the largest port + 1 ever addressable (sizes the monitor).
     With a [coordinator_port], [start] runs the join protocol; without one
-    the node waits for {!install_view}. *)
+    the node waits for {!install_view}.  [trace] receives this node's
+    protocol-level events (quorum algorithm only — the full-mesh router
+    has no rendezvous protocol to trace). *)
 
 val port : t -> int
 

@@ -2,6 +2,7 @@ open Apor_util
 open Apor_quorum
 open Apor_linkstate
 open Apor_core
+module Ev = Apor_trace.Event
 
 type callbacks = {
   now : unit -> float;
@@ -37,12 +38,15 @@ type t = {
   rng : Rng.t;
   monitor : Monitor.t;
   cb : callbacks;
+  (* Emission sites match on this directly so a disabled trace costs
+     neither a call nor an event allocation. *)
+  trace : (Ev.t -> unit) option;
   mutable ctx : ctx option;
   mutable started : bool;
 }
 
-let create ~config ~self_port ~rng ~monitor cb =
-  { config; self_port; rng; monitor; cb; ctx = None; started = false }
+let create ~config ~self_port ~rng ~monitor ?trace cb =
+  { config; self_port; rng; monitor; cb; trace; ctx = None; started = false }
 
 let view t = Option.map (fun c -> c.view) t.ctx
 
@@ -80,7 +84,11 @@ let set_view t v =
               failover = Nodeid.Map.empty;
               suspected_dead = Nodeid.Set.empty;
               created_at = t.cb.now ();
-            }
+            };
+        (match t.trace with
+        | Some emit ->
+            emit (Ev.View_installed { node = self; view = View.version v; size = m })
+        | None -> ())
   end
 
 (* --- helpers over a context ------------------------------------------- *)
@@ -186,7 +194,11 @@ let send_routed t ctx rank msg =
   end
 
 let announce_to t ctx rank snapshot =
-  send_routed t ctx rank (Message.Link_state { view = View.version ctx.view; snapshot })
+  send_routed t ctx rank (Message.Link_state { view = View.version ctx.view; snapshot });
+  match t.trace with
+  | Some emit ->
+      emit (Ev.Ls_push { node = ctx.self; server = rank; view = View.version ctx.view })
+  | None -> ()
 
 let start_failover t ctx ~now ~tried dst =
   let excluded =
@@ -201,6 +213,12 @@ let start_failover t ctx ~now ~tried dst =
         Nodeid.Map.add dst
           { server; since = now; tried = Nodeid.Set.add server tried }
           ctx.failover;
+      (match t.trace with
+      | Some emit ->
+          emit
+            (Ev.Failover_started
+               { node = ctx.self; dst; server; view = View.version ctx.view })
+      | None -> ());
       (* Ship our link state immediately so the failover server can serve
          us on its very next recommendation cycle. *)
       announce_to t ctx server (make_snapshot t ctx)
@@ -208,9 +226,23 @@ let start_failover t ctx ~now ~tried dst =
       (* Candidate pool exhausted.  Restart the episode if the destination
          shows signs of life, otherwise conclude it is dead (Section 4.1's
          liveness check) and stop trying. *)
+      let had_episode = Nodeid.Map.mem dst ctx.failover in
       ctx.failover <- Nodeid.Map.remove dst ctx.failover;
-      if not (dst_alive_evidence t ctx ~now dst) then
-        ctx.suspected_dead <- Nodeid.Set.add dst ctx.suspected_dead
+      let alive = dst_alive_evidence t ctx ~now dst in
+      if not alive then ctx.suspected_dead <- Nodeid.Set.add dst ctx.suspected_dead;
+      if had_episode then begin
+        match t.trace with
+        | Some emit ->
+            emit
+              (Ev.Failover_stopped
+                 {
+                   node = ctx.self;
+                   dst;
+                   view = View.version ctx.view;
+                   reason = (if alive then Ev.Exhausted else Ev.Destination_dead);
+                 })
+        | None -> ()
+      end
 
 (* Failover maintenance pass: detect double rendezvous failures, babysit
    running failover episodes, revert to defaults once they recover. *)
@@ -221,8 +253,20 @@ let maintain t ctx ~now =
       if dst <> ctx.self then begin
         if not (pair_failed t ctx ~now dst) then begin
           (* Defaults recovered: drop any failover and suspicion. *)
-          if Nodeid.Map.mem dst ctx.failover then
+          if Nodeid.Map.mem dst ctx.failover then begin
             ctx.failover <- Nodeid.Map.remove dst ctx.failover;
+            match t.trace with
+            | Some emit ->
+                emit
+                  (Ev.Failover_stopped
+                     {
+                       node = ctx.self;
+                       dst;
+                       view = View.version ctx.view;
+                       reason = Ev.Recovered;
+                     })
+            | None -> ()
+          end;
           ctx.suspected_dead <- Nodeid.Set.remove dst ctx.suspected_dead
         end
         else if Nodeid.Set.mem dst ctx.suspected_dead then begin
@@ -249,7 +293,18 @@ let maintain t ctx ~now =
                   start_failover t ctx ~now ~tried:episode.tried dst
                 else begin
                   ctx.failover <- Nodeid.Map.remove dst ctx.failover;
-                  ctx.suspected_dead <- Nodeid.Set.add dst ctx.suspected_dead
+                  ctx.suspected_dead <- Nodeid.Set.add dst ctx.suspected_dead;
+                  match t.trace with
+                  | Some emit ->
+                      emit
+                        (Ev.Failover_stopped
+                           {
+                             node = ctx.self;
+                             dst;
+                             view = View.version ctx.view;
+                             reason = Ev.Destination_dead;
+                           })
+                  | None -> ()
                 end
               end
         end
@@ -265,6 +320,17 @@ let tick t =
       let now = t.cb.now () in
       let snapshot = make_snapshot t ctx in
       Table.set_own_row ctx.table snapshot ~now;
+      (match t.trace with
+      | Some emit ->
+          emit
+            (Ev.Ls_ingest
+               {
+                 node = ctx.self;
+                 owner = ctx.self;
+                 view = View.version ctx.view;
+                 snapshot;
+               })
+      | None -> ());
       (* Round one: announce to default servers plus active failover servers. *)
       let failover_servers =
         Nodeid.Map.fold (fun _ e acc -> Nodeid.Set.add e.server acc) ctx.failover
@@ -311,9 +377,21 @@ let tick t =
                 end)
               fresh_ranks
           in
-          if entries <> [] then
+          if entries <> [] then begin
             send_routed t ctx i
-              (Message.Recommend { view = View.version ctx.view; entries }))
+              (Message.Recommend { view = View.version ctx.view; entries });
+            match t.trace with
+            | Some emit ->
+                emit
+                  (Ev.Rec_computed
+                     {
+                       server = ctx.self;
+                       client = i;
+                       view = View.version ctx.view;
+                       entries;
+                     })
+            | None -> ()
+          end)
         clients;
       (* Section 4.2: we hold our clients' tables, so compute routes to
          them locally (does not count as a received recommendation for the
@@ -325,9 +403,23 @@ let tick t =
             Best_hop.best ~src:ctx.self ~dst:j ~cost_from_src:own_vector
               ~cost_to_dst:(Hashtbl.find vectors j)
           in
-          if Float.is_finite choice.Best_hop.cost then
+          if Float.is_finite choice.Best_hop.cost then begin
             ctx.routes.(j) <-
-              Some { hop = choice.Best_hop.hop; received_at = now; via_port = t.self_port })
+              Some { hop = choice.Best_hop.hop; received_at = now; via_port = t.self_port };
+            match t.trace with
+            | Some emit ->
+                emit
+                  (Ev.Rec_applied
+                     {
+                       node = ctx.self;
+                       server = ctx.self;
+                       dst = j;
+                       hop = choice.Best_hop.hop;
+                       view = View.version ctx.view;
+                       local = true;
+                     })
+            | None -> ()
+          end)
         clients;
       maintain t ctx ~now
 
@@ -349,8 +441,19 @@ let start t =
 let handle_link_state t ~view:version snapshot =
   match t.ctx with
   | Some ctx when View.version ctx.view = version
-                  && Snapshot.size snapshot = View.size ctx.view ->
-      Table.ingest ctx.table snapshot ~now:(t.cb.now ())
+                  && Snapshot.size snapshot = View.size ctx.view -> (
+      Table.ingest ctx.table snapshot ~now:(t.cb.now ());
+      match t.trace with
+      | Some emit ->
+          emit
+            (Ev.Ls_ingest
+               {
+                 node = ctx.self;
+                 owner = Snapshot.owner snapshot;
+                 view = version;
+                 snapshot;
+               })
+      | None -> ())
   | Some _ | None -> ()
 
 let handle_recommend t ~src_port ~view:version entries =
@@ -367,7 +470,20 @@ let handle_recommend t ~src_port ~view:version entries =
                 ctx.routes.(dst) <- Some { hop; received_at = now; via_port = src_port };
                 ctx.rec_last.(dst) <- now;
                 Hashtbl.replace ctx.rec_pair (pair_key ctx src_rank dst) now;
-                ctx.suspected_dead <- Nodeid.Set.remove dst ctx.suspected_dead
+                ctx.suspected_dead <- Nodeid.Set.remove dst ctx.suspected_dead;
+                match t.trace with
+                | Some emit ->
+                    emit
+                      (Ev.Rec_applied
+                         {
+                           node = ctx.self;
+                           server = src_rank;
+                           dst;
+                           hop;
+                           view = version;
+                           local = false;
+                         })
+                | None -> ()
               end)
             entries)
   | Some _ | None -> ()

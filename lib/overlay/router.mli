@@ -29,7 +29,18 @@ type callbacks = {
 type t
 
 val create :
-  config:Config.t -> self_port:int -> rng:Rng.t -> monitor:Monitor.t -> callbacks -> t
+  config:Config.t ->
+  self_port:int ->
+  rng:Rng.t ->
+  monitor:Monitor.t ->
+  ?trace:(Apor_trace.Event.t -> unit) ->
+  callbacks ->
+  t
+(** With [trace], the router emits protocol-level events — link-state
+    pushes and ingests, recommendations computed/applied, failover episode
+    transitions, view installs — at the moment each happens.  Without it
+    (the default) emission sites compile to a field test: no closures, no
+    events, no allocation. *)
 
 val start : t -> unit
 (** Begin the routing loop (first tick after a random phase within one

@@ -57,6 +57,8 @@ let verify t =
   let* () = check_duality 0 in
   check_cover 0 1
 
+let cover_width t i j = List.length (t.connecting i j)
+
 let max_degree t =
   let rec go i acc =
     if i >= t.size then acc else go (i + 1) (max acc (List.length (t.servers i)))

@@ -31,6 +31,11 @@ val verify : t -> (unit, string) result
 (** Re-check the client/server duality, self-freeness and the cover
     property.  O(n^2 * sqrt n); for tests. *)
 
+val cover_width : t -> Nodeid.t -> Nodeid.t -> int
+(** Number of connecting nodes for a pair — how many independent failures
+    the pair survives before a double rendezvous failure.  Must be >= 1
+    for every pair of a valid system. *)
+
 val max_degree : t -> int
 (** Largest [|R_i|]: the per-node round-one fan-out. *)
 

@@ -1,11 +1,18 @@
 open Apor_util
 
+type tap = {
+  on_send : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
+  on_deliver : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
+  on_drop : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
+}
+
 type 'msg t = {
   network : Network.t;
   traffic : Traffic.t;
   events : (unit -> unit) Heap.t;
   mutable clock : float;
   mutable handler : (dst:int -> src:int -> 'msg -> unit) option;
+  mutable tap : tap option;
 }
 
 let create ~network =
@@ -15,12 +22,14 @@ let create ~network =
     events = Heap.create ();
     clock = 0.;
     handler = None;
+    tap = None;
   }
 
 let network t = t.network
 let traffic t = t.traffic
 let now t = t.clock
 let set_handler t f = t.handler <- Some f
+let set_tap t tap = t.tap <- tap
 
 let schedule t ~delay f =
   if Float.is_nan delay || delay < 0. then invalid_arg "Engine.schedule: bad delay";
@@ -35,11 +44,16 @@ let deliver t ~dst ~src msg =
 
 let send t ~cls ~src ~dst ~bytes msg =
   Traffic.record t.traffic cls ~node:src ~bytes ~now:t.clock;
+  (match t.tap with Some tap -> tap.on_send ~cls ~src ~dst ~bytes | None -> ());
   match Network.sample_delivery t.network ~src ~dst with
-  | None -> ()
+  | None -> (
+      match t.tap with Some tap -> tap.on_drop ~cls ~src ~dst ~bytes | None -> ())
   | Some delay ->
       schedule t ~delay (fun () ->
           Traffic.record t.traffic cls ~node:dst ~bytes ~now:t.clock;
+          (match t.tap with
+          | Some tap -> tap.on_deliver ~cls ~src ~dst ~bytes
+          | None -> ());
           deliver t ~dst ~src msg)
 
 let step t =

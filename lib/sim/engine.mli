@@ -25,6 +25,21 @@ val set_handler : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
 (** Install the delivery dispatch.  Messages delivered before a handler is
     installed raise [Failure] — a protocol wiring bug. *)
 
+type tap = {
+  on_send : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
+  on_deliver : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
+  on_drop : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
+}
+(** Packet-level observation hooks.  [on_send] fires for every transmitted
+    packet, then exactly one of [on_deliver] (at the arrival time, before
+    the handler) or [on_drop] (immediately — the engine knows the fate at
+    send time).  The engine stays agnostic of what observers do; the trace
+    collector plugs in here without the engine depending on it. *)
+
+val set_tap : 'msg t -> tap option -> unit
+(** Install or remove the tap.  [None] (the default) costs nothing on the
+    send path. *)
+
 val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
 (** Run a callback [delay] seconds from now.
     @raise Invalid_argument on negative or NaN delay. *)

@@ -1,0 +1,82 @@
+type timed = { seq : int; time : float; event : Event.t }
+
+type sink = { channel : out_channel; kinds : Event.Kind.t list option }
+
+type t = {
+  cap : int;
+  ring : timed option array;
+  mutable first : int; (* seq of the oldest retained event *)
+  mutable next : int;  (* seq of the next event = total emitted *)
+  mutable now : unit -> float;
+  mutable subscribers : (timed -> unit) list; (* subscription order *)
+  mutable sink : sink option;
+}
+
+let create ?(capacity = 65536) ?(now = fun () -> 0.) () =
+  if capacity < 1 then invalid_arg "Collector.create: capacity must be positive";
+  {
+    cap = capacity;
+    ring = Array.make capacity None;
+    first = 0;
+    next = 0;
+    now;
+    subscribers = [];
+    sink = None;
+  }
+
+let set_clock t now = t.now <- now
+(* Appending keeps [emit] allocation-free on the fan-out path. *)
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let set_sink ?kinds t channel = t.sink <- Some { channel; kinds }
+let clear_sink t = t.sink <- None
+let capacity t = t.cap
+let total t = t.next
+let length t = t.next - t.first
+
+let sink_line t tv =
+  match t.sink with
+  | None -> ()
+  | Some { channel; kinds } ->
+      let wanted =
+        match kinds with
+        | None -> true
+        | Some ks -> List.mem (Event.kind tv.event) ks
+      in
+      if wanted then begin
+        output_string channel
+          (Printf.sprintf "{\"time\":%.6f,\"seq\":%d,%s}\n" tv.time tv.seq
+             (Event.to_json tv.event))
+      end
+
+let emit t event =
+  let tv = { seq = t.next; time = t.now (); event } in
+  t.ring.(t.next mod t.cap) <- Some tv;
+  t.next <- t.next + 1;
+  if t.next - t.first > t.cap then t.first <- t.next - t.cap;
+  sink_line t tv;
+  List.iter (fun f -> f tv) t.subscribers
+
+let iter t f =
+  for seq = t.first to t.next - 1 do
+    match t.ring.(seq mod t.cap) with Some tv -> f tv | None -> ()
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun tv -> acc := f !acc tv);
+  !acc
+
+let events ?t0 ?t1 ?kind ?node t =
+  fold t ~init:[] ~f:(fun acc tv ->
+      let keep =
+        (match t0 with None -> true | Some x -> tv.time >= x)
+        && (match t1 with None -> true | Some x -> tv.time <= x)
+        && (match kind with None -> true | Some k -> Event.kind tv.event = k)
+        && match node with None -> true | Some id -> Event.involves tv.event id
+      in
+      if keep then tv :: acc else acc)
+  |> List.rev
+
+let clear t =
+  Array.fill t.ring 0 t.cap None;
+  t.first <- t.next

@@ -1,0 +1,59 @@
+(** The trace collector: an allocation-light event stream.
+
+    Events are stamped with a sequence number and the virtual clock, kept
+    in a fixed-capacity ring buffer (old events are overwritten, never
+    reallocated), fanned out to subscribers synchronously, and optionally
+    written to a JSONL sink.  Subscribers — the invariant oracle above
+    all — therefore see {e every} event in emission order even when the
+    ring has long since wrapped; the ring only bounds what the offline
+    {!Query} API can still look at.
+
+    A collector is created before the cluster that feeds it exists, so
+    its clock starts as a stub returning [0.] and is pointed at the
+    engine's virtual clock when the cluster wires itself up. *)
+
+type timed = { seq : int; time : float; event : Event.t }
+
+type t
+
+val create : ?capacity:int -> ?now:(unit -> float) -> unit -> t
+(** Default capacity 65536 events.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val set_clock : t -> (unit -> float) -> unit
+
+val emit : t -> Event.t -> unit
+(** Stamp, buffer, sink, then fan out to subscribers in subscription
+    order.  A subscriber raising (the oracle in raise-on-violation mode)
+    propagates to the emission site — the offending protocol action. *)
+
+val subscribe : t -> (timed -> unit) -> unit
+
+val set_sink : ?kinds:Event.Kind.t list -> t -> out_channel -> unit
+(** Write every subsequent event (restricted to [kinds] when given) as
+    one JSON line.  The caller keeps ownership of the channel; combine
+    with {!clear_sink} and [close_out].  Engine events dominate volume —
+    sink {!Event.Kind.protocol} unless packet-level detail is needed. *)
+
+val clear_sink : t -> unit
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever emitted. *)
+
+val length : t -> int
+(** Events still retained, [min total capacity]. *)
+
+val iter : t -> (timed -> unit) -> unit
+(** Oldest retained event first. *)
+
+val fold : t -> init:'a -> f:('a -> timed -> 'a) -> 'a
+
+val events :
+  ?t0:float -> ?t1:float -> ?kind:Event.Kind.t -> ?node:int -> t -> timed list
+(** Retained events filtered by closed time window, kind and involved
+    node, oldest first. *)
+
+val clear : t -> unit
+(** Drop retained events (sequence numbering and subscriptions survive). *)

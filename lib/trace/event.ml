@@ -1,0 +1,169 @@
+open Apor_util
+open Apor_linkstate
+open Apor_sim
+
+module Kind = struct
+  type t =
+    | Send
+    | Deliver
+    | Drop
+    | Ls_push
+    | Ls_ingest
+    | Rec_computed
+    | Rec_applied
+    | Failover_started
+    | Failover_stopped
+    | View_installed
+
+  let engine = [ Send; Deliver; Drop ]
+
+  let protocol =
+    [
+      Ls_push;
+      Ls_ingest;
+      Rec_computed;
+      Rec_applied;
+      Failover_started;
+      Failover_stopped;
+      View_installed;
+    ]
+
+  let all = engine @ protocol
+
+  let to_string = function
+    | Send -> "send"
+    | Deliver -> "deliver"
+    | Drop -> "drop"
+    | Ls_push -> "ls-push"
+    | Ls_ingest -> "ls-ingest"
+    | Rec_computed -> "rec-computed"
+    | Rec_applied -> "rec-applied"
+    | Failover_started -> "failover-started"
+    | Failover_stopped -> "failover-stopped"
+    | View_installed -> "view-installed"
+end
+
+type stop_reason = Recovered | Exhausted | Destination_dead
+
+type t =
+  | Send of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Deliver of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Drop of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Ls_push of { node : Nodeid.t; server : Nodeid.t; view : int }
+  | Ls_ingest of { node : Nodeid.t; owner : Nodeid.t; view : int; snapshot : Snapshot.t }
+  | Rec_computed of {
+      server : Nodeid.t;
+      client : Nodeid.t;
+      view : int;
+      entries : (Nodeid.t * Nodeid.t) list;
+    }
+  | Rec_applied of {
+      node : Nodeid.t;
+      server : Nodeid.t;
+      dst : Nodeid.t;
+      hop : Nodeid.t;
+      view : int;
+      local : bool;
+    }
+  | Failover_started of { node : Nodeid.t; dst : Nodeid.t; server : Nodeid.t; view : int }
+  | Failover_stopped of { node : Nodeid.t; dst : Nodeid.t; view : int; reason : stop_reason }
+  | View_installed of { node : Nodeid.t; view : int; size : int }
+
+let kind : t -> Kind.t = function
+  | Send _ -> Kind.Send
+  | Deliver _ -> Kind.Deliver
+  | Drop _ -> Kind.Drop
+  | Ls_push _ -> Kind.Ls_push
+  | Ls_ingest _ -> Kind.Ls_ingest
+  | Rec_computed _ -> Kind.Rec_computed
+  | Rec_applied _ -> Kind.Rec_applied
+  | Failover_started _ -> Kind.Failover_started
+  | Failover_stopped _ -> Kind.Failover_stopped
+  | View_installed _ -> Kind.View_installed
+
+let involves ev id =
+  match ev with
+  | Send { src; dst; _ } | Deliver { src; dst; _ } | Drop { src; dst; _ } ->
+      src = id || dst = id
+  | Ls_push { node; server; _ } -> node = id || server = id
+  | Ls_ingest { node; owner; _ } -> node = id || owner = id
+  | Rec_computed { server; client; _ } -> server = id || client = id
+  | Rec_applied { node; server; dst; _ } -> node = id || server = id || dst = id
+  | Failover_started { node; dst; server; _ } -> node = id || dst = id || server = id
+  | Failover_stopped { node; dst; _ } -> node = id || dst = id
+  | View_installed { node; _ } -> node = id
+
+let cls_to_string = function
+  | Traffic.Probe -> "probe"
+  | Traffic.Routing -> "routing"
+  | Traffic.Membership -> "membership"
+  | Traffic.Data -> "data"
+
+let reason_to_string = function
+  | Recovered -> "recovered"
+  | Exhausted -> "exhausted"
+  | Destination_dead -> "destination-dead"
+
+let pp ppf = function
+  | Send { cls; src; dst; bytes } ->
+      Format.fprintf ppf "send(%s, %d->%d, %dB)" (cls_to_string cls) src dst bytes
+  | Deliver { cls; src; dst; bytes } ->
+      Format.fprintf ppf "deliver(%s, %d->%d, %dB)" (cls_to_string cls) src dst bytes
+  | Drop { cls; src; dst; bytes } ->
+      Format.fprintf ppf "drop(%s, %d->%d, %dB)" (cls_to_string cls) src dst bytes
+  | Ls_push { node; server; view } ->
+      Format.fprintf ppf "ls-push(v%d, %d=>%d)" view node server
+  | Ls_ingest { node; owner; view; snapshot } ->
+      Format.fprintf ppf "ls-ingest(v%d, %d stores %d, %d live)" view node owner
+        (Snapshot.alive_count snapshot)
+  | Rec_computed { server; client; view; entries } ->
+      Format.fprintf ppf "rec-computed(v%d, %d=>%d, %d entries)" view server client
+        (List.length entries)
+  | Rec_applied { node; server; dst; hop; view; local } ->
+      Format.fprintf ppf "rec-applied(v%d, %d: %d via %d, from %d%s)" view node dst hop
+        server
+        (if local then ", local" else "")
+  | Failover_started { node; dst; server; view } ->
+      Format.fprintf ppf "failover-started(v%d, %d: dst %d via %d)" view node dst server
+  | Failover_stopped { node; dst; view; reason } ->
+      Format.fprintf ppf "failover-stopped(v%d, %d: dst %d, %s)" view node dst
+        (reason_to_string reason)
+  | View_installed { node; view; size } ->
+      Format.fprintf ppf "view-installed(v%d, rank %d of %d)" view node size
+
+let json_kind ev = Printf.sprintf "\"kind\":%S" (Kind.to_string (kind ev))
+
+let to_json ev =
+  match ev with
+  | Send { cls; src; dst; bytes }
+  | Deliver { cls; src; dst; bytes }
+  | Drop { cls; src; dst; bytes } ->
+      Printf.sprintf "%s,\"cls\":%S,\"src\":%d,\"dst\":%d,\"bytes\":%d" (json_kind ev)
+        (cls_to_string cls) src dst bytes
+  | Ls_push { node; server; view } ->
+      Printf.sprintf "%s,\"node\":%d,\"server\":%d,\"view\":%d" (json_kind ev) node server
+        view
+  | Ls_ingest { node; owner; view; snapshot } ->
+      Printf.sprintf "%s,\"node\":%d,\"owner\":%d,\"view\":%d,\"alive\":%d" (json_kind ev)
+        node owner view
+        (Snapshot.alive_count snapshot)
+  | Rec_computed { server; client; view; entries } ->
+      let entries_json =
+        entries
+        |> List.map (fun (dst, hop) -> Printf.sprintf "[%d,%d]" dst hop)
+        |> String.concat ","
+      in
+      Printf.sprintf "%s,\"server\":%d,\"client\":%d,\"view\":%d,\"entries\":[%s]"
+        (json_kind ev) server client view entries_json
+  | Rec_applied { node; server; dst; hop; view; local } ->
+      Printf.sprintf
+        "%s,\"node\":%d,\"server\":%d,\"dst\":%d,\"hop\":%d,\"view\":%d,\"local\":%b"
+        (json_kind ev) node server dst hop view local
+  | Failover_started { node; dst; server; view } ->
+      Printf.sprintf "%s,\"node\":%d,\"dst\":%d,\"server\":%d,\"view\":%d" (json_kind ev)
+        node dst server view
+  | Failover_stopped { node; dst; view; reason } ->
+      Printf.sprintf "%s,\"node\":%d,\"dst\":%d,\"view\":%d,\"reason\":%S" (json_kind ev)
+        node dst view (reason_to_string reason)
+  | View_installed { node; view; size } ->
+      Printf.sprintf "%s,\"node\":%d,\"view\":%d,\"size\":%d" (json_kind ev) node view size

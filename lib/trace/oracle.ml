@@ -1,0 +1,276 @@
+open Apor_util
+open Apor_linkstate
+open Apor_quorum
+open Apor_sim
+open Apor_core
+
+type check = Quorum_intersection | One_hop_optimality | Traffic_conservation
+
+type violation = { time : float; check : check; detail : string }
+
+exception Violation of violation
+
+(* One rendezvous server's link-state table, rebuilt from [Ls_ingest]
+   events.  Emission is synchronous with the table update, so the
+   received-at stamps — and therefore the freshness filter — coincide
+   exactly with the router's. *)
+type mirror_row = { vector : float array; received_at : float }
+
+type mirror = { mutable mview : int; rows : (Nodeid.t, mirror_row) Hashtbl.t }
+
+(* How many open failover episodes currently point [node] at [server], and
+   when the last one ended — recommendations keep flowing for up to a
+   staleness window after that. *)
+type target = { mutable active : int; mutable last_end : float }
+
+type t = {
+  raise_on_violation : bool;
+  slack_s : float;
+  metric : Metric.t;
+  staleness_s : float;
+  grids : (int, Grid.t) Hashtbl.t; (* view version -> grid *)
+  mirrors : (Nodeid.t, mirror) Hashtbl.t; (* server rank -> table mirror *)
+  episodes : (Nodeid.t * Nodeid.t, Nodeid.t) Hashtbl.t; (* (node, dst) -> server *)
+  targets : (Nodeid.t * Nodeid.t, target) Hashtbl.t; (* (node, server) *)
+  bytes : (int, int ref) Hashtbl.t; (* node -> traced bytes in + out *)
+  mutable violations : violation list; (* newest first *)
+  mutable recommendations_checked : int;
+  mutable applications_checked : int;
+}
+
+let create ?(raise_on_violation = true) ?(slack_s = 5.) ~metric ~staleness_s () =
+  if staleness_s <= 0. then invalid_arg "Oracle.create: staleness_s must be positive";
+  {
+    raise_on_violation;
+    slack_s;
+    metric;
+    staleness_s;
+    grids = Hashtbl.create 4;
+    mirrors = Hashtbl.create 64;
+    episodes = Hashtbl.create 16;
+    targets = Hashtbl.create 16;
+    bytes = Hashtbl.create 64;
+    violations = [];
+    recommendations_checked = 0;
+    applications_checked = 0;
+  }
+
+let check_name = function
+  | Quorum_intersection -> "quorum-intersection"
+  | One_hop_optimality -> "one-hop-optimality"
+  | Traffic_conservation -> "traffic-conservation"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "t=%.3f [%s] %s" v.time (check_name v.check) v.detail
+
+let flag t ~time ~check detail =
+  let v = { time; check; detail } in
+  t.violations <- v :: t.violations;
+  if t.raise_on_violation then raise (Violation v)
+
+let violations t = List.rev t.violations
+let violation_count t = List.length t.violations
+let recommendations_checked t = t.recommendations_checked
+let applications_checked t = t.applications_checked
+
+(* --- table mirrors ------------------------------------------------------ *)
+
+let mirror_for t server =
+  match Hashtbl.find_opt t.mirrors server with
+  | Some m -> m
+  | None ->
+      let m = { mview = -1; rows = Hashtbl.create 32 } in
+      Hashtbl.add t.mirrors server m;
+      m
+
+let ingest t ~now ~node ~owner ~view snapshot =
+  let m = mirror_for t node in
+  if m.mview <> view then begin
+    Hashtbl.reset m.rows;
+    m.mview <- view
+  end;
+  match Hashtbl.find_opt m.rows owner with
+  | Some { received_at; _ } when received_at > now -> () (* Table.ingest's guard *)
+  | Some _ | None ->
+      Hashtbl.replace m.rows owner
+        { vector = Snapshot.cost_vector snapshot t.metric; received_at = now }
+
+let fresh_vector t m ~now owner =
+  match Hashtbl.find_opt m.rows owner with
+  | Some r when now -. r.received_at <= t.staleness_s -> Some r.vector
+  | Some _ | None -> None
+
+(* --- invariant 2: one-hop optimality ------------------------------------ *)
+
+let check_entries t ~now ~server ~client ~view entries ~local =
+  let m = mirror_for t server in
+  if m.mview = view then
+    match fresh_vector t m ~now client with
+    | None ->
+        flag t ~time:now ~check:One_hop_optimality
+          (Printf.sprintf "server %d computed routes for client %d without a fresh copy of its table"
+             server client)
+    | Some cost_from_src ->
+        List.iter
+          (fun (dst, hop) ->
+            if dst <> client then begin
+              t.recommendations_checked <- t.recommendations_checked + 1;
+              match fresh_vector t m ~now dst with
+              | None ->
+                  flag t ~time:now ~check:One_hop_optimality
+                    (Printf.sprintf
+                       "server %d recommended %d->%d without a fresh copy of %d's table"
+                       server client dst dst)
+              | Some cost_to_dst ->
+                  let choice =
+                    Best_hop.best ~src:client ~dst ~cost_from_src ~cost_to_dst
+                  in
+                  if choice.Best_hop.hop <> hop then
+                    flag t ~time:now ~check:One_hop_optimality
+                      (Printf.sprintf
+                         "server %d%s: route %d->%d uses hop %d but the tables say %d (cost %g)"
+                         server
+                         (if local then " (local)" else "")
+                         client dst hop choice.Best_hop.hop choice.Best_hop.cost)
+            end)
+          entries
+
+(* --- invariant 1: grid-quorum intersection ------------------------------ *)
+
+(* A recommendation's computer is valid for one endpoint when it is that
+   endpoint itself, its rendezvous server in the current grid, or a
+   failover server the endpoint recruited — active, or ended recently
+   enough that its copy of the endpoint's table is still fresh. *)
+let side_ok t grid ~now ~node ~server =
+  server = node
+  || Grid.is_rendezvous_for grid ~server ~client:node
+  ||
+  match Hashtbl.find_opt t.targets (node, server) with
+  | Some tg -> tg.active > 0 || now -. tg.last_end <= t.staleness_s +. t.slack_s
+  | None -> false
+
+let check_applied t ~now ~node ~server ~dst ~view =
+  t.applications_checked <- t.applications_checked + 1;
+  match Hashtbl.find_opt t.grids view with
+  | None -> () (* never saw this view install; nothing to check against *)
+  | Some grid ->
+      let bad side_node =
+        flag t ~time:now ~check:Quorum_intersection
+          (Printf.sprintf
+             "node %d applied a route to %d computed at %d, which serves neither grid quorum nor failover role for %d"
+             node dst server side_node)
+      in
+      if not (side_ok t grid ~now ~node ~server) then bad node
+      else if not (side_ok t grid ~now ~node:dst ~server) then bad dst
+
+(* --- failover bookkeeping ----------------------------------------------- *)
+
+let start_target t node server =
+  match Hashtbl.find_opt t.targets (node, server) with
+  | Some tg -> tg.active <- tg.active + 1
+  | None -> Hashtbl.add t.targets (node, server) { active = 1; last_end = neg_infinity }
+
+let end_target t ~now node server =
+  match Hashtbl.find_opt t.targets (node, server) with
+  | Some tg ->
+      if tg.active > 0 then tg.active <- tg.active - 1;
+      if now > tg.last_end then tg.last_end <- now
+  | None -> ()
+
+let failover_started t ~now ~node ~dst ~server =
+  match Hashtbl.find_opt t.episodes (node, dst) with
+  | Some old when old = server -> ()
+  | Some old ->
+      end_target t ~now node old;
+      Hashtbl.replace t.episodes (node, dst) server;
+      start_target t node server
+  | None ->
+      Hashtbl.replace t.episodes (node, dst) server;
+      start_target t node server
+
+let failover_stopped t ~now ~node ~dst =
+  match Hashtbl.find_opt t.episodes (node, dst) with
+  | Some server ->
+      Hashtbl.remove t.episodes (node, dst);
+      end_target t ~now node server
+  | None -> ()
+
+(* --- event dispatch ----------------------------------------------------- *)
+
+let add_bytes t node b =
+  match Hashtbl.find_opt t.bytes node with
+  | Some r -> r := !r + b
+  | None -> Hashtbl.add t.bytes node (ref b)
+
+let observe t (tv : Collector.timed) =
+  let now = tv.Collector.time in
+  match tv.Collector.event with
+  | Event.Send { src; bytes; _ } -> add_bytes t src bytes
+  | Event.Deliver { dst; bytes; _ } -> add_bytes t dst bytes
+  | Event.Drop _ -> () (* outgoing bytes were accounted by the Send *)
+  | Event.Ls_push _ -> ()
+  | Event.View_installed { view; size; _ } ->
+      if not (Hashtbl.mem t.grids view) then Hashtbl.add t.grids view (Grid.build size)
+  | Event.Ls_ingest { node; owner; view; snapshot } ->
+      ingest t ~now ~node ~owner ~view snapshot
+  | Event.Rec_computed { server; client; view; entries } ->
+      check_entries t ~now ~server ~client ~view entries ~local:false
+  | Event.Rec_applied { node; server; dst; hop; view; local } ->
+      check_applied t ~now ~node ~server ~dst ~view;
+      if local then
+        (* locally-computed route: re-run the same optimality check against
+           the node's own mirror *)
+        check_entries t ~now ~server:node ~client:node ~view [ (dst, hop) ] ~local:true
+  | Event.Failover_started { node; dst; server; _ } ->
+      failover_started t ~now ~node ~dst ~server
+  | Event.Failover_stopped { node; dst; _ } -> failover_stopped t ~now ~node ~dst
+
+let attach t collector = Collector.subscribe collector (observe t)
+
+(* --- invariant 3: traffic conservation ---------------------------------- *)
+
+let check_traffic t traffic ~now =
+  for node = 0 to Traffic.n traffic - 1 do
+    let engine =
+      List.fold_left
+        (fun acc cls ->
+          acc + Traffic.bytes_in_range traffic ~cls ~node ~t0:0. ~t1:(now +. 1.))
+        0 Traffic.all_classes
+    in
+    let traced = match Hashtbl.find_opt t.bytes node with Some r -> !r | None -> 0 in
+    if engine <> traced then
+      flag t ~time:now ~check:Traffic_conservation
+        (Printf.sprintf "node %d: engine accounted %d bytes but the trace saw %d" node
+           engine traced)
+  done
+
+(* --- static grid cover --------------------------------------------------- *)
+
+let check_grid_cover grid =
+  let n = Grid.size grid in
+  let exception Bad of string in
+  try
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Grid.connecting grid i j = [] then
+          raise (Bad (Printf.sprintf "pair (%d,%d) has no connecting rendezvous" i j));
+        let ri, ci = Grid.position grid i and rj, cj = Grid.position grid j in
+        if ri <> rj && ci <> cj then begin
+          (* Theorem 1's >= 2 intersection needs both crossing cells; on a
+             ragged last row one may be blank, and the extra assignments
+             then guarantee cover but not double intersection. *)
+          let both_crossings =
+            Grid.node_at grid ~row:ri ~col:cj <> None
+            && Grid.node_at grid ~row:rj ~col:ci <> None
+          in
+          if both_crossings && List.length (Grid.common_rendezvous grid i j) < 2 then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "pair (%d,%d): crossing cells occupied yet fewer than 2 common rendezvous"
+                    i j))
+        end
+      done
+    done;
+    Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,93 @@
+(** The online invariant oracle.
+
+    Subscribed to a {!Collector}, it validates — as events arrive, not in
+    a post-mortem — the three properties the paper's argument rests on:
+
+    {ol
+    {- {b Grid-quorum intersection.}  Every recommendation a node applies
+       was computed at a rendezvous that genuinely serves both endpoints:
+       a member of the source's row ∪ column {e and} the destination's
+       row ∪ column of the current view's grid, one of the endpoints
+       themselves, or a failover server the endpoint explicitly recruited
+       (tracked live from [Failover_started]/[Failover_stopped] events,
+       with a staleness-window grace after an episode ends, because a
+       server legitimately keeps recommending until its copy of the
+       client's table ages out).}
+    {- {b One-hop optimality.}  Each [Rec_computed] entry — and each
+       locally-computed route — matches {!Apor_core.Best_hop} re-run
+       against the oracle's own mirror of the rendezvous's table, rebuilt
+       event by event from the exact quantized snapshots in [Ls_ingest].
+       The protocol's tie-breaking is deterministic, so any divergence is
+       a bug, not noise.}
+    {- {b Traffic conservation.}  Bytes accounted by the engine's
+       {!Apor_sim.Traffic} equal bytes seen in the trace, per node
+       (checked on demand via {!check_traffic} — typically at the end of
+       a run, or at checkpoints).}}
+
+    A violation is recorded and, by default, raised immediately as
+    {!Violation} with the offending context — the stack then points at
+    the protocol action that broke the invariant.
+
+    The oracle must be attached before the cluster starts; it assumes it
+    has seen every event.  Mirrors are keyed by view version and rank, so
+    runs with membership churn reset cleanly at each view change; the
+    failover bookkeeping assumes ranks are stable across the run (true
+    for static membership, the configuration all invariant-checked
+    experiments use). *)
+
+open Apor_linkstate
+open Apor_quorum
+open Apor_sim
+
+type check = Quorum_intersection | One_hop_optimality | Traffic_conservation
+
+type violation = { time : float; check : check; detail : string }
+
+exception Violation of violation
+
+type t
+
+val create :
+  ?raise_on_violation:bool ->
+  ?slack_s:float ->
+  metric:Metric.t ->
+  staleness_s:float ->
+  unit ->
+  t
+(** [metric] and [staleness_s] must match the overlay's configuration
+    ([config.metric] and [staleness_windows * routing_interval_s]) or the
+    mirror's freshness filter diverges from the routers'.  [slack_s]
+    (default 5) pads the post-failover grace window to absorb network
+    delay.  [raise_on_violation] defaults to [true]. *)
+
+val attach : t -> Collector.t -> unit
+
+val observe : t -> Collector.timed -> unit
+(** The subscription callback, exposed so tests can feed synthetic event
+    streams without a collector. *)
+
+val violations : t -> violation list
+(** Chronological. *)
+
+val violation_count : t -> int
+
+val recommendations_checked : t -> int
+(** Individual (pair, hop) entries verified for one-hop optimality. *)
+
+val applications_checked : t -> int
+(** [Rec_applied] events verified for quorum intersection. *)
+
+val check_traffic : t -> Traffic.t -> now:float -> unit
+(** Compare per-node byte totals: engine accounting vs. trace, from time
+    zero through [now].  Records/raises a [Traffic_conservation]
+    violation per disagreeing node. *)
+
+val check_grid_cover : Grid.t -> (unit, string) result
+(** The static form of invariant 1, used by the property tests: every
+    pair of a grid has ≥ 1 connecting rendezvous node, and ≥ 2 common
+    rendezvous when the pair shares neither a row nor a column and both
+    crossing cells exist (always true on complete grids — Theorem 1; on
+    ragged grids a missing crossing cell is made up for by the extra
+    assignments, which guarantee cover but not double intersection). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,86 @@
+let in_window ?(t0 = neg_infinity) ?(t1 = infinity) time = time >= t0 && time <= t1
+
+let per_node_messages ?cls ?t0 ?t1 tr ~n =
+  let sent = Array.make n 0 and received = Array.make n 0 in
+  let wanted c = match cls with None -> true | Some c' -> c = c' in
+  Collector.iter tr (fun tv ->
+      if in_window ?t0 ?t1 tv.Collector.time then begin
+        match tv.Collector.event with
+        | Event.Send { cls = c; src; _ } | Event.Drop { cls = c; src; _ } ->
+            if wanted c && src >= 0 && src < n then sent.(src) <- sent.(src) + 1
+        | Event.Deliver { cls = c; dst; _ } ->
+            if wanted c && dst >= 0 && dst < n then received.(dst) <- received.(dst) + 1
+        | _ -> ()
+      end);
+  Array.init n (fun i -> (sent.(i), received.(i)))
+
+let traced_bytes ?t0 ?t1 tr ~n =
+  let bytes = Array.make n 0 in
+  Collector.iter tr (fun tv ->
+      if in_window ?t0 ?t1 tv.Collector.time then begin
+        match tv.Collector.event with
+        (* a dropped packet's outgoing bytes were counted by its Send *)
+        | Event.Send { src; bytes = b; _ } ->
+            if src >= 0 && src < n then bytes.(src) <- bytes.(src) + b
+        | Event.Deliver { dst; bytes = b; _ } ->
+            if dst >= 0 && dst < n then bytes.(dst) <- bytes.(dst) + b
+        | _ -> ()
+      end);
+  bytes
+
+let recommendation_latencies ?t0 ?t1 tr =
+  let computed = Hashtbl.create 64 in
+  let last_sample = Hashtbl.create 64 in
+  Collector.fold tr ~init:[] ~f:(fun acc tv ->
+      match tv.Collector.event with
+      | Event.Rec_computed { server; client; _ } ->
+          Hashtbl.replace computed (server, client) tv.Collector.time;
+          acc
+      | Event.Rec_applied { node; server; local = false; _ }
+        when in_window ?t0 ?t1 tv.Collector.time -> (
+          match Hashtbl.find_opt computed (server, node) with
+          | Some tc ->
+              (* entries of one round-two message apply at one instant;
+                 collapse them into a single latency sample *)
+              if Hashtbl.find_opt last_sample (server, node) = Some tv.Collector.time
+              then acc
+              else begin
+                Hashtbl.replace last_sample (server, node) tv.Collector.time;
+                (tv.Collector.time -. tc) :: acc
+              end
+          | None -> acc)
+      | _ -> acc)
+  |> List.rev
+
+type failover_span = {
+  node : int;
+  dst : int;
+  server : int;
+  started : float;
+  ended : float option;
+}
+
+let failover_spans ?(t0 = neg_infinity) ?(t1 = infinity) tr =
+  let open_spans = Hashtbl.create 16 in
+  let closed = ref [] in
+  Collector.iter tr (fun tv ->
+      match tv.Collector.event with
+      | Event.Failover_started { node; dst; server; _ } ->
+          (match Hashtbl.find_opt open_spans (node, dst) with
+          | Some span -> closed := { span with ended = Some tv.Collector.time } :: !closed
+          | None -> ());
+          Hashtbl.replace open_spans (node, dst)
+            { node; dst; server; started = tv.Collector.time; ended = None }
+      | Event.Failover_stopped { node; dst; _ } -> (
+          match Hashtbl.find_opt open_spans (node, dst) with
+          | Some span ->
+              Hashtbl.remove open_spans (node, dst);
+              closed := { span with ended = Some tv.Collector.time } :: !closed
+          | None -> ())
+      | _ -> ());
+  let all = Hashtbl.fold (fun _ span acc -> span :: acc) open_spans !closed in
+  all
+  |> List.filter (fun span ->
+         span.started <= t1
+         && match span.ended with None -> true | Some e -> e >= t0)
+  |> List.sort (fun a b -> compare (a.started, a.node, a.dst) (b.started, b.node, b.dst))

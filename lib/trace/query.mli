@@ -1,0 +1,38 @@
+(** Derived views over a collected trace.
+
+    Everything here folds over the collector's retained ring (size the
+    ring for the window you mean to analyse); nothing mutates the trace.
+    These are the counters the benches used to re-derive by hand:
+    per-node message volume, recommendation propagation latency, and
+    failover episode timelines. *)
+
+open Apor_sim
+
+val per_node_messages :
+  ?cls:Traffic.cls -> ?t0:float -> ?t1:float -> Collector.t -> n:int -> (int * int) array
+(** [(sent, received)] packet counts per node over engine events,
+    optionally restricted to one traffic class and a closed time
+    window.  Drops count as sent, not received — exactly like the
+    engine's byte accounting. *)
+
+val traced_bytes : ?t0:float -> ?t1:float -> Collector.t -> n:int -> int array
+(** Bytes per node, incoming and outgoing summed — the trace-side copy
+    of the quantity {!Apor_sim.Traffic} accumulates. *)
+
+val recommendation_latencies : ?t0:float -> ?t1:float -> Collector.t -> float list
+(** One sample per delivered round-two message: virtual seconds from
+    [Rec_computed] at the rendezvous to the matching [Rec_applied] batch
+    at the client (locally-computed routes are excluded).  Chronological. *)
+
+type failover_span = {
+  node : int;
+  dst : int;
+  server : int;
+  started : float;
+  ended : float option;  (** [None]: still open at the end of the trace *)
+}
+
+val failover_spans : ?t0:float -> ?t1:float -> Collector.t -> failover_span list
+(** Failover episodes ordered by start time, including server switches
+    within one episode (each server gets its own span).  A span is kept
+    when it overlaps the [t0, t1] window. *)

@@ -187,6 +187,32 @@ let symmetry_property =
       done;
       !ok)
 
+(* --- The oracle's static intersection check (lib/trace) -------------------- *)
+
+let oracle_cover_property =
+  (* Theorem 1 as the trace oracle states it: every pair of every grid has
+     >= 1 connecting rendezvous; pairs sharing neither row nor column have
+     >= 2 common rendezvous whenever both crossing cells are occupied.
+     (The unconditional ">= 2" claim is false on ragged grids, where a
+     crossing cell can fall in the blank tail of the last row.) *)
+  QCheck.Test.make ~name:"oracle grid-cover check passes for n in [2,30]" ~count:29
+    QCheck.(int_range 2 30)
+    (fun n ->
+      match Apor_trace.Oracle.check_grid_cover (Grid.build n) with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "n=%d: %s" n msg)
+
+let test_cover_width_every_pair () =
+  for n = 2 to 30 do
+    let s = System.of_grid (Grid.build n) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if System.cover_width s i j < 1 then
+          Alcotest.failf "n=%d: pair (%d,%d) has no connecting node" n i j
+      done
+    done
+  done
+
 (* --- Failover candidates -------------------------------------------------- *)
 
 let test_failover_candidates_exclude () =
@@ -372,6 +398,8 @@ let () =
           qcheck cover_property;
           qcheck servers_sorted_and_self_free;
           qcheck symmetry_property;
+          qcheck oracle_cover_property;
+          Alcotest.test_case "cover width >= 1 everywhere" `Quick test_cover_width_every_pair;
         ] );
       ( "system",
         [
