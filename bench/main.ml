@@ -6,10 +6,12 @@
      dune exec bench/main.exe -- --quick        # shorter runs, same shapes
      dune exec bench/main.exe -- --only fig9    # one experiment
      dune exec bench/main.exe -- --list         # experiment names
+     dune exec bench/main.exe -- --only micro --json BENCH_core.json
+                                                # + scaling baseline JSON
 
    Output is plain text with gnuplot-style data blocks. *)
 
-let experiments ~quick ~seed ~trace =
+let experiments ~quick ~seed ~trace ~json =
   [
     ("table-config", fun () -> Experiments.table_config ());
     ("fig1", fun () -> Experiments.fig1 ~quick ~seed);
@@ -20,7 +22,7 @@ let experiments ~quick ~seed ~trace =
     ("availability", fun () -> Experiments.availability ~quick ~seed);
     ("quorum-compare", fun () -> Experiments.quorum_compare ());
     ("ablation", fun () -> Ablation.run ~seed);
-    ("micro", fun () -> Micro.run ());
+    ("micro", fun () -> Micro.run ?json ~quick ~seed ());
   ]
 
 (* Run [f], teeing everything it prints to stdout into a string. *)
@@ -51,6 +53,7 @@ let () =
   let list_only = ref false in
   let out_dir = ref None in
   let trace_file = ref None in
+  let json_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -71,15 +74,19 @@ let () =
     | "--trace" :: file :: rest ->
         trace_file := Some file;
         parse rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S\n\
-           (--quick | --seed N | --only a,b | --out DIR | --trace FILE | --list)\n"
+           (--quick | --seed N | --only a,b | --out DIR | --trace FILE | \
+           --json FILE | --list)\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let all = experiments ~quick:!quick ~seed:!seed ~trace:!trace_file in
+  let all = experiments ~quick:!quick ~seed:!seed ~trace:!trace_file ~json:!json_file in
   if !list_only then begin
     List.iter (fun (name, _) -> print_endline name) all;
     exit 0

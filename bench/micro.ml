@@ -1,6 +1,8 @@
 (* Bechamel microbenchmarks of the computational kernels: grid
    construction, the best-hop scan, a full rendezvous round-two batch, the
-   wire codecs and the one-shot synchronous protocol. *)
+   wire codecs and the one-shot synchronous protocol — plus the protocol
+   scaling runs (delta vs full-table announcements across n) that back
+   PERFORMANCE.md and, with [--json], the BENCH_core.json baseline. *)
 
 open Bechamel
 open Toolkit
@@ -90,7 +92,193 @@ let protocol_tests =
         (Staged.stage (fun () -> ignore (Protocol.run ~grid m))))
     [ 64; 144 ]
 
-let run () =
+(* --- Protocol scaling runs: delta vs full-table baseline ------------------ *)
+
+(* One simulated deployment, measured over a steady-state window.  The
+   warmup [t0] skips the first full-table announcements so the delta runs
+   are priced at their steady-state rate, which is what the closed-form
+   model comparison in PERFORMANCE.md cares about. *)
+
+type scale_run = {
+  n : int;
+  mode : string; (* "delta" (default config) or "full" (full-table baseline) *)
+  routing_bytes_per_node_s : float;
+  rec_latency_median_s : float;
+  wall_s : float;
+  wall_s_per_sim_s : float;
+}
+
+let window_t0 = 120.
+let window_t1 = 240.
+
+let scale_once ~config ~mode ~n ~seed =
+  let world = Apor_topology.Internet.generate ~seed ~n () in
+  let wall0 = Unix.gettimeofday () in
+  let c =
+    Apor_overlay.Cluster.create ~config ~rtt_ms:world.Apor_topology.Internet.rtt_ms
+      ~loss:world.Apor_topology.Internet.loss ~seed ()
+  in
+  Apor_overlay.Cluster.start c;
+  Apor_overlay.Cluster.run_until c window_t1;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let per_node =
+    List.init n (fun node ->
+        Apor_overlay.Cluster.routing_kbps c ~node ~t0:window_t0 ~t1:window_t1)
+  in
+  (* routing_kbps is kilobytes/s of routing-class traffic; x1000 = bytes/s. *)
+  let routing_bytes_per_node_s = Stats.mean per_node *. 1000. in
+  let rng = Rng.make ~seed:(seed + 7) in
+  let samples = ref [] in
+  let wanted = min 400 (n * (n - 1)) in
+  let attempts = ref 0 in
+  while List.length !samples < wanted && !attempts < wanted * 8 do
+    incr attempts;
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst then
+      match Apor_overlay.Cluster.freshness c ~src ~dst with
+      | Some f -> samples := f :: !samples
+      | None -> ()
+  done;
+  let rec_latency_median_s =
+    match !samples with [] -> nan | l -> Stats.median l
+  in
+  {
+    n;
+    mode;
+    routing_bytes_per_node_s;
+    rec_latency_median_s;
+    wall_s;
+    wall_s_per_sim_s = wall_s /. window_t1;
+  }
+
+(* Oracle-verified run: delta + incremental rendezvous with PlanetLab-style
+   churn, every recommendation checked for one-hop optimality against the
+   mirrored tables.  Separate from the timing runs so tracing overhead
+   never pollutes the wall-clock numbers. *)
+
+type oracle_run = {
+  o_n : int;
+  o_sim_s : float;
+  violations : int;
+  recommendations_checked : int;
+}
+
+let oracle_once ~n ~seed =
+  let open Apor_trace in
+  let config = Apor_overlay.Config.quorum_default in
+  let world = Apor_topology.Internet.generate ~seed ~n () in
+  let tr = Collector.create () in
+  let staleness_s =
+    float_of_int config.Apor_overlay.Config.staleness_windows
+    *. config.Apor_overlay.Config.routing_interval_s
+  in
+  let oracle =
+    Oracle.create ~raise_on_violation:false
+      ~metric:config.Apor_overlay.Config.metric ~staleness_s ()
+  in
+  Oracle.attach oracle tr;
+  let c =
+    Apor_overlay.Cluster.create ~config ~rtt_ms:world.Apor_topology.Internet.rtt_ms
+      ~loss:world.Apor_topology.Internet.loss ~trace:tr ~seed ()
+  in
+  let (_ : Apor_topology.Failures.t) =
+    Apor_topology.Failures.install
+      ~engine:(Apor_overlay.Cluster.engine c)
+      ~profile:Apor_topology.Failures.planetlab ~seed ()
+  in
+  Apor_overlay.Cluster.start c;
+  Apor_overlay.Cluster.run_until c window_t1;
+  {
+    o_n = n;
+    o_sim_s = window_t1;
+    violations = Oracle.violation_count oracle;
+    recommendations_checked = Oracle.recommendations_checked oracle;
+  }
+
+let write_json ~path ~seed ~runs ~oracle =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"core-scaling\",\n";
+  p "  \"generated_by\": \"dune exec bench/main.exe -- --only micro --json %s\",\n"
+    (Filename.basename path);
+  p "  \"seed\": %d,\n" seed;
+  p "  \"window\": { \"t0_s\": %g, \"t1_s\": %g },\n" window_t0 window_t1;
+  p "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    { \"n\": %d, \"mode\": %S, \"routing_bytes_per_node_s\": %.2f,\n\
+        \      \"rec_latency_median_s\": %.3f, \"wall_s\": %.3f, \
+         \"wall_s_per_sim_s\": %.5f }%s\n"
+        r.n r.mode r.routing_bytes_per_node_s r.rec_latency_median_s r.wall_s
+        r.wall_s_per_sim_s
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  p "  ],\n";
+  p
+    "  \"oracle\": { \"n\": %d, \"mode\": \"delta\", \"sim_s\": %g, \
+     \"violations\": %d, \"recommendations_checked\": %d }\n"
+    oracle.o_n oracle.o_sim_s oracle.violations oracle.recommendations_checked;
+  p "}\n";
+  close_out oc
+
+let scaling ?json ~quick ~seed () =
+  section "Protocol scaling: delta vs full-table announcements";
+  Printf.printf
+    "steady-state window [%g s, %g s]; bytes/node/s counts routing-class\n\
+     traffic only (announcements, deltas, resyncs, recommendations).\n"
+    window_t0 window_t1;
+  let ns = if quick then [ 49; 144 ] else [ 49; 144; 400; 900 ] in
+  let runs =
+    List.concat_map
+      (fun n ->
+        let delta =
+          scale_once ~config:Apor_overlay.Config.quorum_default ~mode:"delta" ~n
+            ~seed
+        in
+        let full =
+          scale_once
+            ~config:(Apor_overlay.Config.full_table Apor_overlay.Config.quorum_default)
+            ~mode:"full" ~n ~seed
+        in
+        Printf.printf "n=%d done (delta %.1f B/node/s vs full %.1f B/node/s)\n%!"
+          n delta.routing_bytes_per_node_s full.routing_bytes_per_node_s;
+        [ delta; full ])
+      ns
+  in
+  let table =
+    Texttable.create
+      ~header:
+        [ "n"; "mode"; "routing B/node/s"; "median rec latency"; "wall s / sim s" ]
+  in
+  List.iter
+    (fun r ->
+      Texttable.add_row table
+        [
+          string_of_int r.n;
+          r.mode;
+          Printf.sprintf "%.1f" r.routing_bytes_per_node_s;
+          Printf.sprintf "%.1f s" r.rec_latency_median_s;
+          Printf.sprintf "%.5f" r.wall_s_per_sim_s;
+        ])
+    runs;
+  Texttable.print table;
+  let oracle_n = if quick then 144 else 400 in
+  Printf.printf
+    "\nverifying one-hop optimality at n=%d (delta + incremental cache,\n\
+     PlanetLab churn, every recommendation checked)...\n%!"
+    oracle_n;
+  let oracle = oracle_once ~n:oracle_n ~seed in
+  Printf.printf "oracle: %d violations over %d recommendations checked\n"
+    oracle.violations oracle.recommendations_checked;
+  (match json with
+  | None -> ()
+  | Some path ->
+      write_json ~path ~seed ~runs ~oracle;
+      Printf.printf "\nwrote %s\n" path)
+
+let run ?json ~quick ~seed () =
   section "Microbenchmarks (Bechamel, monotonic clock)";
   let tests =
     Test.make_grouped ~name:"apor"
@@ -121,4 +309,5 @@ let run () =
     (fun (name, estimate, r2) ->
       Texttable.add_row table [ name; human estimate; Printf.sprintf "%.3f" r2 ])
     (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows);
-  Texttable.print table
+  Texttable.print table;
+  scaling ?json ~quick ~seed ()

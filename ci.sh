@@ -11,3 +11,11 @@ fi
 
 dune build
 dune runtest
+
+# Documentation build (odoc). The libraries are private, so the pages live
+# under @doc-private. Skipped when odoc isn't installed (offline images).
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc-private
+else
+  echo "ci: odoc not installed; skipping documentation build" >&2
+fi

@@ -28,19 +28,164 @@ let best ~src ~dst ~cost_from_src ~cost_to_dst =
   done;
   !best
 
+(* Plain tail-recursive loop: the Section 4.2 fallback runs this per data
+   packet when recommendations are stale, so it must not allocate. *)
 let best_restricted ~src ~dst ~hops ~cost_from_src ~cost_to_dst =
   check ~src ~dst ~cost_from_src ~cost_to_dst;
-  let candidate best h =
-    if h = src || h = dst then best
-    else begin
-      let c = cost_from_src.(h) +. cost_to_dst.(h) in
-      if c < best.cost then { hop = h; cost = c } else best
-    end
+  let rec go hop cost = function
+    | [] -> { hop; cost }
+    | h :: rest ->
+        if h = src || h = dst then go hop cost rest
+        else begin
+          let c = cost_from_src.(h) +. cost_to_dst.(h) in
+          if c < cost then go h c rest else go hop cost rest
+        end
   in
-  List.fold_left candidate (direct ~dst ~cost:cost_from_src.(dst)) hops
+  go dst cost_from_src.(dst) hops
 
 let brute_force_cost m src dst =
   let choice =
     best ~src ~dst ~cost_from_src:(Costmat.row m src) ~cost_to_dst:(Costmat.column m dst)
   in
   choice.cost
+
+(* --- incremental per-pair cache ----------------------------------------- *)
+
+module Cache = struct
+  (* [best] above is canonical: it returns the candidate minimizing
+     (cost, order) where order is the scan position — the direct path
+     first, then intermediaries by ascending id.  The incremental path
+     below must reproduce that choice bit for bit (the trace Oracle
+     recomputes [best] from mirrored tables and flags any disagreement),
+     so every comparison carries the same tie-break: replace only on
+     strictly lower cost, or equal cost at strictly earlier order. *)
+
+  let scan = best
+
+  type stats = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable updates : int;
+    mutable rescans : int;
+  }
+
+  type t = {
+    n : int;
+    vectors : float array option array;
+    pairs : (int, choice) Hashtbl.t; (* src * n + dst -> cached best *)
+    deps : (int, unit) Hashtbl.t array; (* node -> keys of cached pairs using it *)
+    stats : stats;
+  }
+
+  let create ~n =
+    if n < 2 then invalid_arg "Best_hop.Cache.create: n must be at least 2";
+    {
+      n;
+      vectors = Array.make n None;
+      pairs = Hashtbl.create 64;
+      deps = Array.init n (fun _ -> Hashtbl.create 8);
+      stats = { hits = 0; misses = 0; updates = 0; rescans = 0 };
+    }
+
+  let stats t = (t.stats.hits, t.stats.misses, t.stats.updates, t.stats.rescans)
+
+  let vector t owner = t.vectors.(owner)
+
+  let check_owner t owner =
+    if owner < 0 || owner >= t.n then invalid_arg "Best_hop.Cache: owner out of range"
+
+  let invalidate_pairs t owner =
+    Hashtbl.iter (fun key () -> Hashtbl.remove t.pairs key) t.deps.(owner)
+
+  let set_vector t owner v =
+    check_owner t owner;
+    if Array.length v <> t.n then
+      invalid_arg "Best_hop.Cache.set_vector: vector length differs from n";
+    t.vectors.(owner) <- Some v;
+    invalidate_pairs t owner
+
+  let drop_vector t owner =
+    check_owner t owner;
+    t.vectors.(owner) <- None;
+    invalidate_pairs t owner
+
+  let required_vector t owner =
+    match t.vectors.(owner) with
+    | Some v -> v
+    | None -> invalid_arg "Best_hop.Cache: no vector stored for this node"
+
+  let best t ~src ~dst =
+    let from_src = required_vector t src and to_dst = required_vector t dst in
+    let key = (src * t.n) + dst in
+    match Hashtbl.find_opt t.pairs key with
+    | Some choice ->
+        t.stats.hits <- t.stats.hits + 1;
+        choice
+    | None ->
+        t.stats.misses <- t.stats.misses + 1;
+        let choice = scan ~src ~dst ~cost_from_src:from_src ~cost_to_dst:to_dst in
+        Hashtbl.replace t.pairs key choice;
+        Hashtbl.replace t.deps.(src) key ();
+        Hashtbl.replace t.deps.(dst) key ();
+        choice
+
+  (* Scan order of a candidate within the canonical scan: the direct path
+     (hop = dst) comes before every intermediary. *)
+  let order ~dst hop = if hop = dst then -1 else hop
+
+  let update_pair t ~src ~dst key changed =
+    match Hashtbl.find_opt t.pairs key with
+    | None -> () (* not cached: nothing to maintain *)
+    | Some incumbent ->
+        let from_src = required_vector t src and to_dst = required_vector t dst in
+        let cand_cost h = if h = dst then from_src.(dst) else from_src.(h) +. to_dst.(h) in
+        let affected = List.exists (fun h -> h = incumbent.hop) changed in
+        let rescan () =
+          t.stats.rescans <- t.stats.rescans + 1;
+          Hashtbl.replace t.pairs key
+            (scan ~src ~dst ~cost_from_src:from_src ~cost_to_dst:to_dst)
+        in
+        if affected && cand_cost incumbent.hop > incumbent.cost then
+          (* The incumbent got worse: any of the n candidates may now win,
+             so this pair pays the full scan. *)
+          rescan ()
+        else begin
+          t.stats.updates <- t.stats.updates + 1;
+          let start =
+            if affected then { incumbent with cost = cand_cost incumbent.hop }
+            else incumbent
+          in
+          let better c h inc =
+            c < inc.cost || (c = inc.cost && order ~dst h < order ~dst inc.hop)
+          in
+          let choice =
+            List.fold_left
+              (fun inc h ->
+                if h = src then inc
+                else begin
+                  let c = cand_cost h in
+                  if better c h inc then { hop = h; cost = c } else inc
+                end)
+              start changed
+          in
+          if choice <> incumbent then Hashtbl.replace t.pairs key choice
+        end
+
+  let update_vector t owner ~changes =
+    let v = required_vector t owner in
+    List.iter
+      (fun (id, cost) ->
+        if id < 0 || id >= t.n then
+          invalid_arg "Best_hop.Cache.update_vector: id out of range";
+        v.(id) <- cost)
+      changes;
+    let changed = List.map fst changes in
+    if changed <> [] then
+      Hashtbl.iter
+        (fun key () ->
+          if Hashtbl.mem t.pairs key then begin
+            let src = key / t.n and dst = key mod t.n in
+            update_pair t ~src ~dst key changed
+          end)
+        t.deps.(owner)
+end

@@ -14,8 +14,10 @@ type choice = {
 }
 
 val direct : dst:Nodeid.t -> cost:float -> choice
+(** The no-detour choice: hop is [dst] itself at the given direct cost. *)
 
 val is_direct : dst:Nodeid.t -> choice -> bool
+(** Whether the choice takes the direct path ([hop = dst]). *)
 
 val best :
   src:Nodeid.t ->
@@ -45,3 +47,53 @@ val best_restricted :
 val brute_force_cost : Costmat.t -> Nodeid.t -> Nodeid.t -> float
 (** Reference oracle: cheapest one-hop (or direct) cost read straight off a
     full cost matrix.  O(n); for tests and figure generation. *)
+
+(** Incremental per-pair cache for rendezvous servers.
+
+    A server recomputes {!best} for each of its client pairs every routing
+    interval, yet between intervals most cost vectors change in only a few
+    entries (that is what makes delta announcements pay off).  [Cache]
+    stores one cost vector per client and the current winner per [(src,
+    dst)] pair, and on a delta re-examines only the changed candidates —
+    O(changed hops) instead of O(n) — falling back to a full rescan when
+    the incumbent hop itself got more expensive.
+
+    Results are {e exactly} those of {!best}, including tie-breaks (direct
+    first, then lowest hop id); the trace Oracle holds cached and scanned
+    answers to the same one-hop-optimality check. *)
+module Cache : sig
+  type t
+
+  val create : n:int -> t
+  (** Empty cache over an overlay of [n] nodes: no vectors, no pairs.
+      @raise Invalid_argument when [n < 2]. *)
+
+  val set_vector : t -> Nodeid.t -> float array -> unit
+  (** Install (or wholesale replace) [owner]'s cost vector, invalidating
+      every cached pair that involves [owner].  The array is kept by
+      reference and mutated by {!update_vector} — hand over a fresh one.
+      @raise Invalid_argument on a length mismatch. *)
+
+  val stats : t -> int * int * int * int
+  (** [(hits, misses, updates, rescans)] — pair lookups served from cache,
+      pair lookups that ran a full scan, incremental O(changes) pair
+      updates, and incremental updates that degraded to a full rescan. *)
+
+  val vector : t -> Nodeid.t -> float array option
+  (** The stored cost vector for [owner], if any. *)
+
+  val drop_vector : t -> Nodeid.t -> unit
+  (** Forget [owner]'s vector and invalidate every cached pair using it
+      (membership departure or staleness expiry). *)
+
+  val best : t -> src:Nodeid.t -> dst:Nodeid.t -> choice
+  (** The cached winner for [(src, dst)], computing and caching it with a
+      full {!best} scan on a miss.
+      @raise Invalid_argument when either vector is absent or [src = dst]. *)
+
+  val update_vector : t -> Nodeid.t -> changes:(Nodeid.t * float) list -> unit
+  (** Apply [changes] ([(id, new cost)]) to [owner]'s stored vector in
+      place and incrementally repair every cached pair involving [owner].
+      @raise Invalid_argument when no vector is stored or an id is out of
+      range. *)
+end

@@ -19,8 +19,10 @@ val of_arrays : float array array -> t
     a non-zero diagonal. *)
 
 val size : t -> int
+(** Number of nodes [n]. *)
 
 val get : t -> Nodeid.t -> Nodeid.t -> float
+(** Direct cost from [i] to [j]; no bounds check beyond the arrays'. *)
 
 val row : t -> Nodeid.t -> float array
 (** Fresh copy of node [i]'s outgoing-cost vector — exactly the information

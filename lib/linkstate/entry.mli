@@ -27,5 +27,7 @@ val quantize : t -> t
     dead links normalized to [unreachable]. *)
 
 val equal : t -> t -> bool
+(** Structural equality (exact float comparison on quantized fields). *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable form, e.g. ["12ms/1%"] or ["dead"]. *)

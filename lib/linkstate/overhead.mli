@@ -14,7 +14,16 @@ val probe_bytes : int
 (** Probes and probe replies carry no payload: [header_bytes]. *)
 
 val link_state_bytes : n:int -> int
-(** Round-one announcement: [header_bytes + 3n]. *)
+(** Round-one announcement, full form: [header_bytes + 3n]. *)
+
+val link_state_delta_bytes : changes:int -> int
+(** Round-one announcement, delta form ({!Wire.Delta}):
+    [header_bytes + 6 + 5 * changes].  Cheaper than the full form exactly
+    when fewer than [(3n - 6) / 5] entries changed. *)
+
+val resync_request_bytes : int
+(** A receiver's "resend a full snapshot" request after an epoch gap:
+    header plus the 2-byte owner id. *)
 
 val multihop_state_bytes : n:int -> int
 (** Multi-hop variant: the announcement also carries the 2-byte [Sec]

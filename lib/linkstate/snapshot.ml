@@ -70,6 +70,31 @@ let alive_count t =
 
 let payload_bytes t = 3 * size t
 
+let with_entries t changes =
+  let n = Array.length t.latency in
+  let latency = Array.copy t.latency in
+  let loss = Array.copy t.loss in
+  let live = Bytes.copy t.live in
+  List.iter
+    (fun (j, e) ->
+      if j < 0 || j >= n then invalid_arg "Snapshot.with_entries: id out of range";
+      let e = Entry.quantize (if j = t.owner then Entry.self else e) in
+      latency.(j) <- e.Entry.latency_ms;
+      loss.(j) <- e.Entry.loss;
+      Bytes.set live j (if e.Entry.alive then '\001' else '\000'))
+    changes;
+  { owner = t.owner; latency; loss; live }
+
+let diff ~prev ~next =
+  if prev.owner <> next.owner then invalid_arg "Snapshot.diff: owners differ";
+  if size prev <> size next then invalid_arg "Snapshot.diff: sizes differ";
+  let acc = ref [] in
+  for j = size prev - 1 downto 0 do
+    if not (Entry.equal (entry prev j) (entry next j)) then
+      acc := (j, entry next j) :: !acc
+  done;
+  !acc
+
 let equal a b =
   a.owner = b.owner
   && size a = size b

@@ -12,6 +12,7 @@ val create : owner:Nodeid.t -> Entry.t array -> t
     @raise Invalid_argument when [owner] is outside the array. *)
 
 val owner : t -> Nodeid.t
+(** The node whose outgoing links this snapshot describes. *)
 
 val size : t -> int
 (** Overlay size [n] the snapshot describes. *)
@@ -34,6 +35,20 @@ val alive_count : t -> int
 val payload_bytes : t -> int
 (** Wire payload size: [3 * n] bytes, per the paper. *)
 
+val with_entries : t -> (Nodeid.t * Entry.t) list -> t
+(** [with_entries t changes] is [t] with each listed entry replaced
+    (quantized, owner index forced to {!Entry.self}) — how a receiver
+    applies a {!Wire.Delta} to its stored copy of a row.
+    @raise Invalid_argument for an out-of-range id. *)
+
+val diff : prev:t -> next:t -> (Nodeid.t * Entry.t) list
+(** Entries of [next] that differ from [prev], ascending by id; the change
+    list a delta announcement carries.  [with_entries prev (diff ~prev
+    ~next)] equals [next].
+    @raise Invalid_argument when owners or sizes differ. *)
+
 val equal : t -> t -> bool
+(** Same owner and entry-wise {!Entry.equal}. *)
 
 val pp : Format.formatter -> t -> unit
+(** One line: owner plus each entry via {!Entry.pp}. *)

@@ -1,6 +1,6 @@
 open Apor_util
 
-type row = { snapshot : Snapshot.t; received_at : float }
+type row = { snapshot : Snapshot.t; received_at : float; epoch : int }
 
 type t = { n : int; owner : Nodeid.t; rows : row option array }
 
@@ -10,7 +10,12 @@ let create ~n ~owner =
   let rows = Array.make n None in
   let dead = Array.make n Entry.unreachable in
   rows.(owner) <-
-    Some { snapshot = Snapshot.create ~owner dead; received_at = neg_infinity };
+    Some
+      {
+        snapshot = Snapshot.create ~owner dead;
+        received_at = neg_infinity;
+        epoch = -1;
+      };
   { n; owner; rows }
 
 let n t = t.n
@@ -20,20 +25,44 @@ let check_size t snapshot =
   if Snapshot.size snapshot <> t.n then
     invalid_arg "Table: snapshot size differs from table size"
 
-let set_own_row t snapshot ~now =
+let set_own_row t snapshot ~epoch ~now =
   check_size t snapshot;
   if Snapshot.owner snapshot <> t.owner then
     invalid_arg "Table.set_own_row: snapshot not owned by table owner";
-  t.rows.(t.owner) <- Some { snapshot; received_at = now }
+  t.rows.(t.owner) <- Some { snapshot; received_at = now; epoch }
 
-let ingest t snapshot ~now =
+let ingest t snapshot ~epoch ~now =
   check_size t snapshot;
   let id = Snapshot.owner snapshot in
   match t.rows.(id) with
-  | Some { received_at; _ } when received_at > now -> ()
-  | Some _ | None -> t.rows.(id) <- Some { snapshot; received_at = now }
+  | Some stored when stored.received_at > now || epoch < stored.epoch ->
+      false (* out-of-order delivery: a newer copy is already stored *)
+  | Some _ | None ->
+      t.rows.(id) <- Some { snapshot; received_at = now; epoch };
+      true
+
+let apply_delta t (delta : Wire.Delta.t) ~now =
+  if delta.Wire.Delta.owner < 0 || delta.Wire.Delta.owner >= t.n then `Malformed
+  else if
+    List.exists (fun (id, _) -> id < 0 || id >= t.n) delta.Wire.Delta.changes
+  then `Malformed
+  else begin
+    match t.rows.(delta.Wire.Delta.owner) with
+    | None -> `Gap
+    | Some stored ->
+        if delta.Wire.Delta.epoch <= stored.epoch then `Stale
+        else if delta.Wire.Delta.epoch > stored.epoch + 1 then `Gap
+        else begin
+          let snapshot = Wire.Delta.apply delta stored.snapshot in
+          t.rows.(delta.Wire.Delta.owner) <-
+            Some { snapshot; received_at = now; epoch = delta.Wire.Delta.epoch };
+          `Applied snapshot
+        end
+  end
 
 let row t i = Option.map (fun r -> r.snapshot) t.rows.(i)
+
+let row_epoch t i = Option.map (fun r -> r.epoch) t.rows.(i)
 
 let row_age t i ~now = Option.map (fun r -> now -. r.received_at) t.rows.(i)
 

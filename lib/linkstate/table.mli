@@ -2,8 +2,15 @@
 
     Row [i] holds the most recent snapshot received from node [i] (for a
     rendezvous server: its clients' announcements; for the full-mesh
-    baseline: everyone's), stamped with its arrival time.  The owner's own
-    row is written directly by the link monitor.
+    baseline: everyone's), stamped with its arrival time and the sender's
+    announcement {e epoch}.  The owner's own row is written directly by
+    the link monitor.
+
+    Epochs order a sender's announcements: a full snapshot replaces any
+    older epoch, and a delta ({!Wire.Delta}) applies only on top of the
+    immediately preceding epoch — any other stored epoch is a {e gap}
+    (lost or reordered announcement) and the caller must recover a full
+    snapshot.
 
     A rendezvous server only uses rows received within the last
     [3 * routing_interval] (the paper's staleness window, chosen for
@@ -16,24 +23,40 @@ type t
 
 val create : n:int -> owner:Nodeid.t -> t
 (** All rows initially absent except the owner's, which starts with every
-    link dead (nothing probed yet). *)
+    link dead (nothing probed yet) at epoch [-1]. *)
 
 val n : t -> int
+(** Overlay size the table covers. *)
 
 val owner : t -> Nodeid.t
+(** The node this table belongs to. *)
 
-val set_own_row : t -> Snapshot.t -> now:float -> unit
-(** Install the owner's current measurements.
+val set_own_row : t -> Snapshot.t -> epoch:int -> now:float -> unit
+(** Install the owner's current measurements at announcement epoch [epoch].
     @raise Invalid_argument when the snapshot's owner or size mismatch. *)
 
-val ingest : t -> Snapshot.t -> now:float -> unit
-(** Store a snapshot received from the network in its owner's row,
-    replacing any older one.  Ignores snapshots older than the stored one
-    (out-of-order delivery).
+val ingest : t -> Snapshot.t -> epoch:int -> now:float -> bool
+(** Store a full snapshot received from the network in its owner's row,
+    replacing any older one.  Returns whether the row was stored: [false]
+    means the snapshot was out of order (older timestamp or lower epoch
+    than the stored row) and was ignored.
     @raise Invalid_argument on a size mismatch. *)
+
+val apply_delta :
+  t -> Wire.Delta.t -> now:float -> [ `Applied of Snapshot.t | `Stale | `Gap | `Malformed ]
+(** Apply a delta announcement to its owner's row.  [`Applied s] stores and
+    returns the reconstructed snapshot (the delta's epoch was exactly one
+    past the stored row's).  [`Stale] means the delta's epoch is not newer
+    than the stored row — a duplicate or reordered old packet, safe to
+    drop.  [`Gap] means the base epoch is missing (no row, or one or more
+    announcements were lost): the caller should request a full snapshot.
+    [`Malformed] flags out-of-range ids — network junk, never stored. *)
 
 val row : t -> Nodeid.t -> Snapshot.t option
 (** Latest snapshot from node [i], regardless of age. *)
+
+val row_epoch : t -> Nodeid.t -> int option
+(** Announcement epoch of the stored row [i]. *)
 
 val row_age : t -> Nodeid.t -> now:float -> float option
 (** Seconds since row [i] was received. *)

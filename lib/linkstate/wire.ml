@@ -72,3 +72,63 @@ let roundtrip_entry e =
   let b = Bytes.create entry_bytes in
   encode_entry b 0 e;
   decode_entry b 0
+
+module Delta = struct
+  type t = { owner : int; epoch : int; changes : (int * Entry.t) list }
+
+  let header_bytes = 6
+  let change_bytes = 2 + entry_bytes
+
+  let payload_bytes t = header_bytes + (change_bytes * List.length t.changes)
+
+  let of_snapshots ~epoch ~prev ~next =
+    { owner = Snapshot.owner next; epoch; changes = Snapshot.diff ~prev ~next }
+
+  let apply t snapshot =
+    if Snapshot.owner snapshot <> t.owner then
+      invalid_arg "Wire.Delta.apply: owner mismatch";
+    Snapshot.with_entries snapshot t.changes
+
+  let put_u32 b off v =
+    put_u16 b off ((v lsr 16) land 0xFFFF);
+    put_u16 b (off + 2) (v land 0xFFFF)
+
+  let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+
+  let encode t =
+    check_id t.owner;
+    if t.epoch < 0 || t.epoch > 0xFFFFFFFF then
+      invalid_arg "Wire.Delta: epoch outside 32-bit range";
+    let b = Bytes.create (payload_bytes t) in
+    put_u16 b 0 t.owner;
+    put_u32 b 2 t.epoch;
+    List.iteri
+      (fun i (id, e) ->
+        check_id id;
+        let off = header_bytes + (i * change_bytes) in
+        put_u16 b off id;
+        encode_entry b (off + 2) e)
+      t.changes;
+    b
+
+  let decode b =
+    let len = Bytes.length b in
+    if len < header_bytes then
+      Error (Printf.sprintf "delta payload length %d shorter than the %d-byte header" len header_bytes)
+    else if (len - header_bytes) mod change_bytes <> 0 then
+      Error
+        (Printf.sprintf "delta payload length %d not %d + a multiple of %d" len
+           header_bytes change_bytes)
+    else begin
+      let owner = get_u16 b 0 in
+      let epoch = get_u32 b 2 in
+      let changes =
+        List.init
+          ((len - header_bytes) / change_bytes)
+          (fun i ->
+            let off = header_bytes + (i * change_bytes) in
+            (get_u16 b off, decode_entry b (off + 2)))
+      in
+      Ok { owner; epoch; changes }
+    end
+end

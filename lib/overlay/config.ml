@@ -15,6 +15,8 @@ type t = {
   metric : Metric.t;
   membership_refresh_s : float;
   relay_link_state : bool;
+  delta_link_state : bool;
+  incremental_rendezvous : bool;
 }
 
 let base =
@@ -31,10 +33,14 @@ let base =
     metric = Metric.Latency;
     membership_refresh_s = 1800.;
     relay_link_state = false;
+    delta_link_state = true;
+    incremental_rendezvous = true;
   }
 
 let quorum_default = base
 let ron_default = { base with algorithm = Full_mesh; routing_interval_s = 30. }
+
+let full_table t = { t with delta_link_state = false; incremental_rendezvous = false }
 
 let with_routing_interval t r = { t with routing_interval_s = r }
 

@@ -43,6 +43,18 @@ type t = {
           server or client has failed, route the announcement or
           recommendation through a temporary one-hop intermediary instead
           of losing it.  Off by default, as in the deployed prototype. *)
+  delta_link_state : bool;
+      (** After a node's first announcement to a given rendezvous server,
+          push only the entries that changed since the previous epoch
+          ({!Apor_linkstate.Wire.Delta}) whenever that is smaller than the
+          full [3n]-byte snapshot, falling back to the full form on
+          receiver-detected gaps.  On by default. *)
+  incremental_rendezvous : bool;
+      (** Rendezvous servers keep a per-pair best-hop cache
+          ({!Apor_core.Best_hop.Cache}) and repair it in O(changed entries)
+          per ingested announcement instead of rescanning all [n]
+          candidates per pair each round.  Bit-identical recommendations;
+          on by default. *)
 }
 
 val ron_default : t
@@ -50,6 +62,12 @@ val ron_default : t
 
 val quorum_default : t
 (** The paper's router, 15 s routing interval. *)
+
+val full_table : t -> t
+(** Baseline ablation: disable both delta announcements and the
+    incremental best-hop cache (every round sends full snapshots and
+    rescans every pair) — the configuration the seed repo shipped with,
+    kept as the reference point for the PERFORMANCE.md comparisons. *)
 
 val with_routing_interval : t -> float -> t
 (** Ablation helper: change the routing interval, keeping the staleness

@@ -55,6 +55,7 @@ let handle_message t ~src_port msg =
       end
   | Message.Join _ | Message.Leave _
   | Message.Probe _ | Message.Probe_reply _ | Message.Link_state _
+  | Message.Link_state_delta _ | Message.Ls_resync _
   | Message.Recommend _ | Message.View _ | Message.Data _ | Message.Relay _ ->
       ()
 

@@ -12,9 +12,19 @@ open Apor_sim
 type t =
   | Probe of { seq : int }
   | Probe_reply of { seq : int }
-  | Link_state of { view : int; snapshot : Snapshot.t }
-      (** Round one.  [view] is the membership version the sender's grid
-          was built from; receivers ignore announcements from other views. *)
+  | Link_state of { view : int; epoch : int; snapshot : Snapshot.t }
+      (** Round one, full form.  [view] is the membership version the
+          sender's grid was built from; receivers ignore announcements from
+          other views.  [epoch] counts the sender's announcements within
+          the view and anchors subsequent deltas. *)
+  | Link_state_delta of { view : int; delta : Wire.Delta.t }
+      (** Round one, delta form: only the entries that changed since the
+          sender's previous announcement to this receiver.  Applies on top
+          of the stored row at [delta.epoch - 1]; any other stored epoch is
+          a gap and triggers an [Ls_resync]. *)
+  | Ls_resync of { view : int; owner : Nodeid.t }
+      (** Receiver-to-owner: "I cannot apply your deltas — resend a full
+          snapshot."  Sent on a detected epoch gap. *)
   | Recommend of { view : int; entries : (Nodeid.t * Nodeid.t) list }
       (** Round two: [(destination, best hop)] pairs. *)
   | Join of { port : int }

@@ -143,7 +143,8 @@ let rec handle_message t ~src_port msg =
   | Message.View { version; members } ->
       t.joined <- true;
       install_view t (View.create ~version ~members)
-  | Message.Link_state _ | Message.Recommend _ -> (
+  | Message.Link_state _ | Message.Link_state_delta _ | Message.Ls_resync _
+  | Message.Recommend _ -> (
       match t.router with
       | Quorum r -> Router.handle_message r ~src_port msg
       | Full_mesh r -> Router_fullmesh.handle_message r ~src_port msg)

@@ -30,6 +30,17 @@ type ctx = {
   mutable failover : failover_episode Nodeid.Map.t; (* per destination rank *)
   mutable suspected_dead : Nodeid.Set.t;
   created_at : float;
+  (* Delta announcement state (all per-view, like everything else here).
+     [announce_epoch] stamps the next announcement; [last_announced] is the
+     snapshot of the previous one — the base receivers hold our deltas
+     against; [last_sent] remembers, per rendezvous server, the last epoch
+     we sent it, so we only delta-encode against a base the server has. *)
+  mutable announce_epoch : int;
+  mutable last_announced : Snapshot.t option;
+  last_sent : (Nodeid.t, int) Hashtbl.t;
+  (* Incremental round-two state: cost vectors mirroring our table rows,
+     repaired in O(changes) per ingested announcement. *)
+  cache : Best_hop.Cache.t option;
 }
 
 type t = {
@@ -84,6 +95,13 @@ let set_view t v =
               failover = Nodeid.Map.empty;
               suspected_dead = Nodeid.Set.empty;
               created_at = t.cb.now ();
+              announce_epoch = 0;
+              last_announced = None;
+              last_sent = Hashtbl.create 8;
+              cache =
+                (if t.config.incremental_rendezvous && m >= 2 then
+                   Some (Best_hop.Cache.create ~n:m)
+                 else None);
             };
         (match t.trace with
         | Some emit ->
@@ -193,12 +211,34 @@ let send_routed t ctx rank msg =
     | None -> t.cb.send ~dst_port:port msg
   end
 
-let announce_to t ctx rank snapshot =
-  send_routed t ctx rank (Message.Link_state { view = View.version ctx.view; snapshot });
+let emit_push t ctx rank =
   match t.trace with
   | Some emit ->
       emit (Ev.Ls_push { node = ctx.self; server = rank; view = View.version ctx.view })
   | None -> ()
+
+let announce_full t ctx rank ~epoch snapshot =
+  Hashtbl.replace ctx.last_sent rank epoch;
+  send_routed t ctx rank
+    (Message.Link_state { view = View.version ctx.view; epoch; snapshot });
+  emit_push t ctx rank
+
+(* Round one to one server: delta form when the server holds the previous
+   epoch and the delta actually is smaller than the [3n]-byte snapshot
+   (after a churn-heavy interval it may not be); full form otherwise. *)
+let announce_to t ctx rank ~epoch ~delta snapshot =
+  match delta with
+  | Some d
+    when Hashtbl.find_opt ctx.last_sent rank = Some (epoch - 1)
+         && Wire.Delta.payload_bytes d < Snapshot.payload_bytes snapshot ->
+      Hashtbl.replace ctx.last_sent rank epoch;
+      send_routed t ctx rank
+        (Message.Link_state_delta { view = View.version ctx.view; delta = d });
+      emit_push t ctx rank
+  | Some _ | None -> announce_full t ctx rank ~epoch snapshot
+
+let cost_changes metric changes =
+  List.map (fun (id, e) -> (id, Metric.cost metric e)) changes
 
 let start_failover t ctx ~now ~tried dst =
   let excluded =
@@ -220,8 +260,14 @@ let start_failover t ctx ~now ~tried dst =
                { node = ctx.self; dst; server; view = View.version ctx.view })
       | None -> ());
       (* Ship our link state immediately so the failover server can serve
-         us on its very next recommendation cycle. *)
-      announce_to t ctx server (make_snapshot t ctx)
+         us on its very next recommendation cycle.  Resend the snapshot of
+         the last tick rather than a fresh one: announced content must stay
+         a function of the epoch, or a racing delta would silently rebuild
+         the wrong row at the receiver. *)
+      (match ctx.last_announced with
+      | Some snapshot ->
+          announce_full t ctx server ~epoch:(ctx.announce_epoch - 1) snapshot
+      | None -> () (* not yet ticked; the first tick announces to failover servers *))
   | None ->
       (* Candidate pool exhausted.  Restart the episode if the destination
          shows signs of life, otherwise conclude it is dead (Section 4.1's
@@ -319,7 +365,9 @@ let tick t =
   | Some ctx ->
       let now = t.cb.now () in
       let snapshot = make_snapshot t ctx in
-      Table.set_own_row ctx.table snapshot ~now;
+      let epoch = ctx.announce_epoch in
+      let metric = t.config.metric in
+      Table.set_own_row ctx.table snapshot ~epoch ~now;
       (match t.trace with
       | Some emit ->
           emit
@@ -331,6 +379,27 @@ let tick t =
                  snapshot;
                })
       | None -> ());
+      (* Keep our own cost vector in the incremental cache, by diff against
+         the previous tick's snapshot when we have one. *)
+      (match ctx.cache with
+      | Some cache -> (
+          match (Best_hop.Cache.vector cache ctx.self, ctx.last_announced) with
+          | Some _, Some prev ->
+              Best_hop.Cache.update_vector cache ctx.self
+                ~changes:(cost_changes metric (Snapshot.diff ~prev ~next:snapshot))
+          | _ ->
+              Best_hop.Cache.set_vector cache ctx.self
+                (Snapshot.cost_vector snapshot metric))
+      | None -> ());
+      let delta =
+        if t.config.delta_link_state then
+          match ctx.last_announced with
+          | Some prev -> Some (Wire.Delta.of_snapshots ~epoch ~prev ~next:snapshot)
+          | None -> None
+        else None
+      in
+      ctx.last_announced <- Some snapshot;
+      ctx.announce_epoch <- epoch + 1;
       (* Round one: announce to default servers plus active failover servers. *)
       let failover_servers =
         Nodeid.Map.fold (fun _ e acc -> Nodeid.Set.add e.server acc) ctx.failover
@@ -342,7 +411,7 @@ let tick t =
           failover_servers
           (Grid.rendezvous_servers ctx.grid ctx.self)
       in
-      Nodeid.Set.iter (fun k -> announce_to t ctx k snapshot) servers;
+      Nodeid.Set.iter (fun k -> announce_to t ctx k ~epoch ~delta snapshot) servers;
       (* Round two, server role: recommend between every pair of clients
          with fresh tables.  Anyone whose announcements we hold fresh is a
          client — that uniformly covers default and failover clients. *)
@@ -352,27 +421,34 @@ let tick t =
           (fun rank -> Table.fresh_row ctx.table rank ~now ~max_age <> None)
           (Table.known_rows ctx.table)
       in
-      let metric = t.config.metric in
-      let vectors = Hashtbl.create 32 in
-      List.iter
-        (fun rank ->
-          match Table.row ctx.table rank with
-          | Some row -> Hashtbl.replace vectors rank (Snapshot.cost_vector row metric)
-          | None -> ())
-        fresh_ranks;
+      let best_for =
+        match ctx.cache with
+        | Some cache -> fun ~src ~dst -> Best_hop.Cache.best cache ~src ~dst
+        | None ->
+            (* Baseline: rebuild every fresh row's cost vector and rescan
+               all n candidates for every pair, every tick. *)
+            let vectors = Hashtbl.create 32 in
+            List.iter
+              (fun rank ->
+                match Table.row ctx.table rank with
+                | Some row ->
+                    Hashtbl.replace vectors rank (Snapshot.cost_vector row metric)
+                | None -> ())
+              fresh_ranks;
+            fun ~src ~dst ->
+              Best_hop.best ~src ~dst
+                ~cost_from_src:(Hashtbl.find vectors src)
+                ~cost_to_dst:(Hashtbl.find vectors dst)
+      in
       let clients = List.filter (fun rank -> rank <> ctx.self) fresh_ranks in
       List.iter
         (fun i ->
-          let cost_from_src = Hashtbl.find vectors i in
           let entries =
             List.filter_map
               (fun j ->
                 if j = i then None
                 else begin
-                  let choice =
-                    Best_hop.best ~src:i ~dst:j ~cost_from_src
-                      ~cost_to_dst:(Hashtbl.find vectors j)
-                  in
+                  let choice = best_for ~src:i ~dst:j in
                   Some (j, choice.Best_hop.hop)
                 end)
               fresh_ranks
@@ -396,13 +472,9 @@ let tick t =
       (* Section 4.2: we hold our clients' tables, so compute routes to
          them locally (does not count as a received recommendation for the
          freshness metrics — only real round-two messages do). *)
-      let own_vector = Snapshot.cost_vector snapshot metric in
       List.iter
         (fun j ->
-          let choice =
-            Best_hop.best ~src:ctx.self ~dst:j ~cost_from_src:own_vector
-              ~cost_to_dst:(Hashtbl.find vectors j)
-          in
+          let choice = best_for ~src:ctx.self ~dst:j in
           if Float.is_finite choice.Best_hop.cost then begin
             ctx.routes.(j) <-
               Some { hop = choice.Best_hop.hop; received_at = now; via_port = t.self_port };
@@ -438,22 +510,76 @@ let start t =
 
 (* --- message handling -------------------------------------------------- *)
 
-let handle_link_state t ~view:version snapshot =
+(* A freshly stored row must reach both consumers in lockstep: the
+   incremental cache (which answers round-two queries from it) and the
+   trace, whose [Ls_ingest] the oracle mirrors.  Emitting only on an
+   actual store keeps the oracle's mirror equal to the table even when
+   out-of-order packets are rejected. *)
+let row_stored t ctx ~version owner snapshot =
+  (match ctx.cache with
+  | Some cache ->
+      Best_hop.Cache.set_vector cache owner (Snapshot.cost_vector snapshot t.config.metric)
+  | None -> ());
+  match t.trace with
+  | Some emit ->
+      emit (Ev.Ls_ingest { node = ctx.self; owner; view = version; snapshot })
+  | None -> ()
+
+let handle_link_state t ~view:version ~epoch snapshot =
   match t.ctx with
-  | Some ctx when View.version ctx.view = version
-                  && Snapshot.size snapshot = View.size ctx.view -> (
-      Table.ingest ctx.table snapshot ~now:(t.cb.now ());
-      match t.trace with
-      | Some emit ->
-          emit
-            (Ev.Ls_ingest
-               {
-                 node = ctx.self;
-                 owner = Snapshot.owner snapshot;
-                 view = version;
-                 snapshot;
-               })
-      | None -> ())
+  | Some ctx
+    when View.version ctx.view = version
+         && Snapshot.size snapshot = View.size ctx.view
+         && Snapshot.owner snapshot <> ctx.self ->
+      if Table.ingest ctx.table snapshot ~epoch ~now:(t.cb.now ()) then
+        row_stored t ctx ~version (Snapshot.owner snapshot) snapshot
+  | Some _ | None -> ()
+
+let handle_link_state_delta t ~view:version (delta : Wire.Delta.t) =
+  match t.ctx with
+  | Some ctx
+    when View.version ctx.view = version && delta.Wire.Delta.owner <> ctx.self -> (
+      let owner = delta.Wire.Delta.owner in
+      match Table.apply_delta ctx.table delta ~now:(t.cb.now ()) with
+      | `Applied snapshot -> (
+          (match ctx.cache with
+          | Some cache when Best_hop.Cache.vector cache owner <> None ->
+              Best_hop.Cache.update_vector cache owner
+                ~changes:(cost_changes t.config.metric delta.Wire.Delta.changes)
+          | Some cache ->
+              Best_hop.Cache.set_vector cache owner
+                (Snapshot.cost_vector snapshot t.config.metric)
+          | None -> ());
+          match t.trace with
+          | Some emit ->
+              emit (Ev.Ls_ingest { node = ctx.self; owner; view = version; snapshot })
+          | None -> ())
+      | `Gap ->
+          (* We lost the base this delta builds on: ask the owner for a
+             full snapshot.  Both this request and the resent snapshot may
+             be lost too; the next delta then re-detects the gap, so the
+             exchange self-heals. *)
+          (match t.trace with
+          | Some emit ->
+              emit
+                (Ev.Ls_gap
+                   { node = ctx.self; owner; view = version; epoch = delta.Wire.Delta.epoch })
+          | None -> ());
+          send_routed t ctx owner (Message.Ls_resync { view = version; owner })
+      | `Stale | `Malformed -> ())
+  | Some _ | None -> ()
+
+let handle_ls_resync t ~src_port ~view:version ~owner =
+  match t.ctx with
+  | Some ctx when View.version ctx.view = version && owner = ctx.self -> (
+      match View.rank_of_port ctx.view src_port with
+      | None -> ()
+      | Some requester -> (
+          Hashtbl.remove ctx.last_sent requester;
+          match ctx.last_announced with
+          | Some snapshot ->
+              announce_full t ctx requester ~epoch:(ctx.announce_epoch - 1) snapshot
+          | None -> ()))
   | Some _ | None -> ()
 
 let handle_recommend t ~src_port ~view:version entries =
@@ -490,7 +616,9 @@ let handle_recommend t ~src_port ~view:version entries =
 
 let handle_message t ~src_port msg =
   match (msg : Message.t) with
-  | Message.Link_state { view; snapshot } -> handle_link_state t ~view snapshot
+  | Message.Link_state { view; epoch; snapshot } -> handle_link_state t ~view ~epoch snapshot
+  | Message.Link_state_delta { view; delta } -> handle_link_state_delta t ~view delta
+  | Message.Ls_resync { view; owner } -> handle_ls_resync t ~src_port ~view ~owner
   | Message.Recommend { view; entries } -> handle_recommend t ~src_port ~view entries
   | Message.Probe _ | Message.Probe_reply _ | Message.Join _ | Message.Leave _
   | Message.View _ | Message.Data _ | Message.Relay _ ->

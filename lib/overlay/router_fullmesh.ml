@@ -13,6 +13,7 @@ type ctx = {
   self : Nodeid.t;
   table : Table.t;
   routes : Best_hop.choice option array; (* refreshed every tick *)
+  mutable announce_epoch : int; (* stamps full broadcasts; RON sends no deltas *)
 }
 
 type t = {
@@ -50,6 +51,7 @@ let set_view t v =
               self;
               table = Table.create ~n:m ~owner:self;
               routes = Array.make m None;
+              announce_epoch = 0;
             }
   end
 
@@ -92,12 +94,14 @@ let tick t =
   | Some ctx ->
       let now = t.cb.now () in
       let snapshot = make_snapshot t ctx in
-      Table.set_own_row ctx.table snapshot ~now;
+      let epoch = ctx.announce_epoch in
+      ctx.announce_epoch <- epoch + 1;
+      Table.set_own_row ctx.table snapshot ~epoch ~now;
       let m = View.size ctx.view in
       for rank = 0 to m - 1 do
         if rank <> ctx.self then
           t.cb.send ~dst_port:(View.port_of_rank ctx.view rank)
-            (Message.Link_state { view = View.version ctx.view; snapshot })
+            (Message.Link_state { view = View.version ctx.view; epoch; snapshot })
       done;
       recompute_routes t ctx ~now
 
@@ -116,13 +120,14 @@ let start t =
 
 let handle_message t ~src_port:_ msg =
   match (msg : Message.t) with
-  | Message.Link_state { view = version; snapshot } -> (
+  | Message.Link_state { view = version; epoch; snapshot } -> (
       match t.ctx with
       | Some ctx when View.version ctx.view = version
                       && Snapshot.size snapshot = View.size ctx.view ->
-          Table.ingest ctx.table snapshot ~now:(t.cb.now ())
+          ignore (Table.ingest ctx.table snapshot ~epoch ~now:(t.cb.now ()))
       | Some _ | None -> ())
-  | Message.Recommend _ | Message.Probe _ | Message.Probe_reply _ | Message.Join _
+  | Message.Link_state_delta _ | Message.Ls_resync _ | Message.Recommend _
+  | Message.Probe _ | Message.Probe_reply _ | Message.Join _
   | Message.Leave _ | Message.View _ | Message.Data _ | Message.Relay _ ->
       ()
 

@@ -9,6 +9,7 @@ module Kind = struct
     | Drop
     | Ls_push
     | Ls_ingest
+    | Ls_gap
     | Rec_computed
     | Rec_applied
     | Failover_started
@@ -21,6 +22,7 @@ module Kind = struct
     [
       Ls_push;
       Ls_ingest;
+      Ls_gap;
       Rec_computed;
       Rec_applied;
       Failover_started;
@@ -36,6 +38,7 @@ module Kind = struct
     | Drop -> "drop"
     | Ls_push -> "ls-push"
     | Ls_ingest -> "ls-ingest"
+    | Ls_gap -> "ls-gap"
     | Rec_computed -> "rec-computed"
     | Rec_applied -> "rec-applied"
     | Failover_started -> "failover-started"
@@ -51,6 +54,7 @@ type t =
   | Drop of { cls : Traffic.cls; src : int; dst : int; bytes : int }
   | Ls_push of { node : Nodeid.t; server : Nodeid.t; view : int }
   | Ls_ingest of { node : Nodeid.t; owner : Nodeid.t; view : int; snapshot : Snapshot.t }
+  | Ls_gap of { node : Nodeid.t; owner : Nodeid.t; view : int; epoch : int }
   | Rec_computed of {
       server : Nodeid.t;
       client : Nodeid.t;
@@ -75,6 +79,7 @@ let kind : t -> Kind.t = function
   | Drop _ -> Kind.Drop
   | Ls_push _ -> Kind.Ls_push
   | Ls_ingest _ -> Kind.Ls_ingest
+  | Ls_gap _ -> Kind.Ls_gap
   | Rec_computed _ -> Kind.Rec_computed
   | Rec_applied _ -> Kind.Rec_applied
   | Failover_started _ -> Kind.Failover_started
@@ -87,6 +92,7 @@ let involves ev id =
       src = id || dst = id
   | Ls_push { node; server; _ } -> node = id || server = id
   | Ls_ingest { node; owner; _ } -> node = id || owner = id
+  | Ls_gap { node; owner; _ } -> node = id || owner = id
   | Rec_computed { server; client; _ } -> server = id || client = id
   | Rec_applied { node; server; dst; _ } -> node = id || server = id || dst = id
   | Failover_started { node; dst; server; _ } -> node = id || dst = id || server = id
@@ -116,6 +122,8 @@ let pp ppf = function
   | Ls_ingest { node; owner; view; snapshot } ->
       Format.fprintf ppf "ls-ingest(v%d, %d stores %d, %d live)" view node owner
         (Snapshot.alive_count snapshot)
+  | Ls_gap { node; owner; view; epoch } ->
+      Format.fprintf ppf "ls-gap(v%d, %d missed base of %d@%d)" view node owner epoch
   | Rec_computed { server; client; view; entries } ->
       Format.fprintf ppf "rec-computed(v%d, %d=>%d, %d entries)" view server client
         (List.length entries)
@@ -147,6 +155,9 @@ let to_json ev =
       Printf.sprintf "%s,\"node\":%d,\"owner\":%d,\"view\":%d,\"alive\":%d" (json_kind ev)
         node owner view
         (Snapshot.alive_count snapshot)
+  | Ls_gap { node; owner; view; epoch } ->
+      Printf.sprintf "%s,\"node\":%d,\"owner\":%d,\"view\":%d,\"epoch\":%d" (json_kind ev)
+        node owner view epoch
   | Rec_computed { server; client; view; entries } ->
       let entries_json =
         entries

@@ -24,6 +24,7 @@ module Kind : sig
     | Drop
     | Ls_push
     | Ls_ingest
+    | Ls_gap
     | Rec_computed
     | Rec_applied
     | Failover_started
@@ -61,6 +62,11 @@ type t =
           announcement or, when [owner = node], its own measurement row at
           the top of a routing tick.  Carries the exact quantized snapshot
           so the oracle can mirror every table. *)
+  | Ls_gap of { node : Nodeid.t; owner : Nodeid.t; view : int; epoch : int }
+      (** [node] received a delta from [owner] stamped [epoch] but does not
+          hold the preceding epoch (lost or reordered announcement); it is
+          about to request a full snapshot.  Diagnostic only — the oracle
+          ignores it, since nothing was stored. *)
   | Rec_computed of {
       server : Nodeid.t;
       client : Nodeid.t;

@@ -209,6 +209,7 @@ let observe t (tv : Collector.timed) =
   | Event.Deliver { dst; bytes; _ } -> add_bytes t dst bytes
   | Event.Drop _ -> () (* outgoing bytes were accounted by the Send *)
   | Event.Ls_push _ -> ()
+  | Event.Ls_gap _ -> () (* nothing was stored; the mirror stays put *)
   | Event.View_installed { view; size; _ } ->
       if not (Hashtbl.mem t.grids view) then Hashtbl.add t.grids view (Grid.build size)
   | Event.Ls_ingest { node; owner; view; snapshot } ->

@@ -88,10 +88,23 @@ let measured_routing_bps ~config ~n ~seed =
   Apor_util.Stats.mean per_node *. 1000.
 
 let test_simulator_matches_exact_model_quorum () =
+  (* The closed-form model prices full 3n-byte announcements, so pin the
+     full-table baseline; delta encoding (on by default) sends less. *)
+  let config = Config.full_table Config.quorum_default in
   let n = 49 in
-  let expected = Bandwidth.routing_bps_exact ~config:Config.quorum_default ~n in
-  let measured = measured_routing_bps ~config:Config.quorum_default ~n ~seed:91 in
+  let expected = Bandwidth.routing_bps_exact ~config ~n in
+  let measured = measured_routing_bps ~config ~n ~seed:91 in
   check_within "quorum sim vs model" ~tolerance:0.05 expected measured
+
+let test_simulator_delta_below_model () =
+  (* With delta announcements on (the default), steady-state routing
+     traffic must come in well below the full-table closed form: on a
+     static network every post-first delta announcement is just the
+     6-byte-payload header. *)
+  let n = 49 in
+  let full = Bandwidth.routing_bps_exact ~config:Config.quorum_default ~n in
+  let measured = measured_routing_bps ~config:Config.quorum_default ~n ~seed:91 in
+  check_bool "delta strictly cheaper" true (measured < 0.8 *. full)
 
 let test_simulator_matches_exact_model_fullmesh () =
   let n = 49 in
@@ -150,6 +163,7 @@ let () =
         [
           Alcotest.test_case "quorum measured = model" `Slow test_simulator_matches_exact_model_quorum;
           Alcotest.test_case "fullmesh measured = model" `Slow test_simulator_matches_exact_model_fullmesh;
+          Alcotest.test_case "delta below model" `Slow test_simulator_delta_below_model;
         ] );
       ( "report",
         [

@@ -129,6 +129,106 @@ let best_hop_matches_brute_force =
       done;
       !ok)
 
+let best_restricted_full_hops_property =
+  QCheck.Test.make ~name:"best_restricted over all hops = best" ~count:100
+    QCheck.(pair (int_range 2 30) int)
+    (fun (n, seed) ->
+      let rng = Rng.make ~seed in
+      let m = random_matrix ~rng ~n ~dead_fraction:0.2 in
+      let hops = List.init n Fun.id in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then begin
+            let from_src = Costmat.row m src and to_dst = Costmat.column m dst in
+            let full =
+              Best_hop.best ~src ~dst ~cost_from_src:from_src ~cost_to_dst:to_dst
+            in
+            let restricted =
+              Best_hop.best_restricted ~src ~dst ~hops ~cost_from_src:from_src
+                ~cost_to_dst:to_dst
+            in
+            if full <> restricted then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* --- Best_hop.Cache -------------------------------------------------------- *)
+
+(* Drive the incremental cache with a random sequence of vector installs
+   and entry updates, and require every answer to equal the full scan over
+   reference copies of the vectors — including the hop choice, i.e. the
+   tie-breaks, not just the cost. *)
+let cache_matches_scan_property =
+  QCheck.Test.make ~name:"incremental cache = full rescan (random op sequences)"
+    ~count:100
+    QCheck.(pair (int_range 2 12) int)
+    (fun (n, seed) ->
+      let rng = Rng.make ~seed in
+      let cache = Best_hop.Cache.create ~n in
+      let reference = Array.init n (fun _ -> Array.make n infinity) in
+      let random_cost () =
+        if Rng.bernoulli rng ~p:0.2 then infinity else Float.round (Rng.float rng 999.)
+      in
+      let install owner =
+        let v = Array.init n (fun j -> if j = owner then 0. else random_cost ()) in
+        reference.(owner) <- Array.copy v;
+        Best_hop.Cache.set_vector cache owner v
+      in
+      for owner = 0 to n - 1 do
+        install owner
+      done;
+      let ok = ref true in
+      let check_all () =
+        for src = 0 to n - 1 do
+          for dst = 0 to n - 1 do
+            if src <> dst then begin
+              let cached = Best_hop.Cache.best cache ~src ~dst in
+              let scanned =
+                Best_hop.best ~src ~dst ~cost_from_src:reference.(src)
+                  ~cost_to_dst:reference.(dst)
+              in
+              if cached <> scanned then ok := false
+            end
+          done
+        done
+      in
+      check_all ();
+      for _step = 1 to 20 do
+        let owner = Rng.int rng n in
+        if Rng.bernoulli rng ~p:0.25 then install owner
+        else begin
+          (* entry-wise update, the delta-announcement path *)
+          let changes =
+            List.filter_map
+              (fun j ->
+                if j <> owner && Rng.bernoulli rng ~p:0.3 then Some (j, random_cost ())
+                else None)
+              (List.init n Fun.id)
+          in
+          List.iter (fun (j, c) -> reference.(owner).(j) <- c) changes;
+          Best_hop.Cache.update_vector cache owner ~changes
+        end;
+        check_all ()
+      done;
+      (* the sequences above must actually exercise the incremental path *)
+      let _, _, updates, _ = Best_hop.Cache.stats cache in
+      !ok && (updates > 0 || n = 2))
+
+let test_cache_drop_vector () =
+  let cache = Best_hop.Cache.create ~n:3 in
+  Best_hop.Cache.set_vector cache 0 [| 0.; 10.; 30. |];
+  Best_hop.Cache.set_vector cache 1 [| 10.; 0.; 10. |];
+  Best_hop.Cache.set_vector cache 2 [| 30.; 10.; 0. |];
+  let c = Best_hop.Cache.best cache ~src:0 ~dst:2 in
+  check_int "via 1" 1 c.Best_hop.hop;
+  Best_hop.Cache.drop_vector cache 2;
+  check_bool "vector gone" true (Best_hop.Cache.vector cache 2 = None);
+  Alcotest.check_raises "query after drop"
+    (Invalid_argument "Best_hop.Cache: no vector stored for this node") (fun () ->
+      ignore (Best_hop.Cache.best cache ~src:0 ~dst:2))
+
 (* --- Rendezvous round-two ------------------------------------------------- *)
 
 let snapshot_of_row ~owner ~n row =
@@ -570,6 +670,12 @@ let () =
           Alcotest.test_case "rejects src=dst" `Quick test_best_hop_rejects_src_eq_dst;
           Alcotest.test_case "restricted hops" `Quick test_best_hop_restricted;
           qcheck best_hop_matches_brute_force;
+          qcheck best_restricted_full_hops_property;
+        ] );
+      ( "best_hop_cache",
+        [
+          Alcotest.test_case "drop vector" `Quick test_cache_drop_vector;
+          qcheck cache_matches_scan_property;
         ] );
       ( "rendezvous",
         [

@@ -165,13 +165,158 @@ let test_wire_decode_well_sized_junk () =
   | Ok recs -> check_int "3 recs" 3 (List.length recs)
   | Error e -> Alcotest.fail e
 
+(* --- Wire.Delta ----------------------------------------------------------------- *)
+
+(* Random quantized snapshot over [n] nodes, owned by [owner]. *)
+let random_snapshot ~rng ~owner ~n =
+  Snapshot.create ~owner
+    (Array.init n (fun j ->
+         if j = owner then Entry.self
+         else if Apor_util.Rng.bernoulli rng ~p:0.15 then Entry.unreachable
+         else
+           Entry.make
+             ~latency_ms:(Float.round (Apor_util.Rng.float rng 500.))
+             ~loss:0. ~alive:true))
+
+(* [mutate] flips a few entries, leaving the rest alone — one routing
+   interval's worth of churn. *)
+let mutate_snapshot ~rng ~owner ~n prev =
+  Snapshot.with_entries prev
+    (List.filter_map
+       (fun j ->
+         if j <> owner && Apor_util.Rng.bernoulli rng ~p:0.2 then
+           Some
+             ( j,
+               if Apor_util.Rng.bernoulli rng ~p:0.3 then Entry.unreachable
+               else
+                 Entry.make
+                   ~latency_ms:(Float.round (Apor_util.Rng.float rng 500.))
+                   ~loss:0. ~alive:true )
+         else None)
+       (List.init n Fun.id))
+
+let snapshot_diff_roundtrip =
+  QCheck.Test.make ~name:"with_entries prev (diff prev next) = next" ~count:200
+    QCheck.(pair (int_range 2 40) int)
+    (fun (n, seed) ->
+      let rng = Apor_util.Rng.make ~seed in
+      let owner = Apor_util.Rng.int rng n in
+      let prev = random_snapshot ~rng ~owner ~n in
+      let next = random_snapshot ~rng ~owner ~n in
+      Snapshot.equal next (Snapshot.with_entries prev (Snapshot.diff ~prev ~next)))
+
+let delta_wire_roundtrip =
+  QCheck.Test.make ~name:"delta decode (encode d) = d" ~count:200
+    QCheck.(pair (int_range 2 40) int)
+    (fun (n, seed) ->
+      let rng = Apor_util.Rng.make ~seed in
+      let owner = Apor_util.Rng.int rng n in
+      let prev = random_snapshot ~rng ~owner ~n in
+      let next = mutate_snapshot ~rng ~owner ~n prev in
+      let d = Wire.Delta.of_snapshots ~epoch:7 ~prev ~next in
+      match Wire.Delta.decode (Wire.Delta.encode d) with
+      | Error _ -> false
+      | Ok d' ->
+          d'.Wire.Delta.owner = d.Wire.Delta.owner
+          && d'.Wire.Delta.epoch = d.Wire.Delta.epoch
+          && List.for_all2
+               (fun (i, e) (i', e') -> i = i' && Entry.equal e e')
+               d.Wire.Delta.changes d'.Wire.Delta.changes
+          && Bytes.length (Wire.Delta.encode d) = Wire.Delta.payload_bytes d)
+
+(* The tentpole property: a receiver that applies an owner's delta stream —
+   losing some deltas and recovering via the gap/full-resync protocol,
+   exactly as [Router] does — ends up with the owner's final table. *)
+let delta_sequence_converges =
+  QCheck.Test.make ~name:"delta stream + gap resync reconstruct final table" ~count:200
+    QCheck.(pair (int_range 2 24) int)
+    (fun (n, seed) ->
+      let rng = Apor_util.Rng.make ~seed in
+      let owner = Apor_util.Rng.int rng n in
+      let receiver = (owner + 1) mod n in
+      let table = Table.create ~n ~owner:receiver in
+      let rounds = 2 + Apor_util.Rng.int rng 10 in
+      let snapshot = ref (random_snapshot ~rng ~owner ~n) in
+      let ok = ref true in
+      ignore (Table.ingest table !snapshot ~epoch:0 ~now:0. : bool);
+      for epoch = 1 to rounds do
+        let next = mutate_snapshot ~rng ~owner ~n !snapshot in
+        let d = Wire.Delta.of_snapshots ~epoch ~prev:!snapshot ~next in
+        let now = float_of_int epoch in
+        if Apor_util.Rng.bernoulli rng ~p:0.3 then
+          (* the network ate this delta; the next one must hit a gap *)
+          ()
+        else begin
+          match Table.apply_delta table d ~now with
+          | `Applied s -> if not (Snapshot.equal s next) then ok := false
+          | `Gap ->
+              (* receiver resyncs: owner resends the full current snapshot *)
+              if not (Table.ingest table next ~epoch ~now : bool) then ok := false
+          | `Stale | `Malformed -> ok := false
+        end;
+        snapshot := next
+      done;
+      (* one final resync if the last rounds were all lost *)
+      let final_missing =
+        match Table.row table owner with
+        | Some s -> not (Snapshot.equal s !snapshot)
+        | None -> true
+      in
+      if final_missing then
+        ignore (Table.ingest table !snapshot ~epoch:rounds ~now:(float_of_int rounds) : bool);
+      !ok
+      &&
+      match Table.row table owner with
+      | Some s -> Snapshot.equal s !snapshot
+      | None -> false)
+
+let test_apply_delta_statuses () =
+  let rng = Apor_util.Rng.make ~seed:7 in
+  let t = Table.create ~n:4 ~owner:0 in
+  let s0 = random_snapshot ~rng ~owner:2 ~n:4 in
+  let entry = Entry.make ~latency_ms:9. ~loss:0. ~alive:true in
+  let delta ~epoch changes = { Wire.Delta.owner = 2; epoch; changes } in
+  check_bool "no row yet -> gap" true (Table.apply_delta t (delta ~epoch:1 [ (1, entry) ]) ~now:0. = `Gap);
+  ignore (Table.ingest t s0 ~epoch:0 ~now:0. : bool);
+  check_bool "skipped epoch -> gap" true
+    (Table.apply_delta t (delta ~epoch:2 [ (1, entry) ]) ~now:1. = `Gap);
+  check_bool "old epoch -> stale" true
+    (Table.apply_delta t (delta ~epoch:0 [ (1, entry) ]) ~now:1. = `Stale);
+  check_bool "id out of range -> malformed" true
+    (Table.apply_delta t (delta ~epoch:1 [ (9, entry) ]) ~now:1. = `Malformed);
+  check_bool "owner out of range -> malformed" true
+    (Table.apply_delta t { Wire.Delta.owner = 11; epoch = 1; changes = [] } ~now:1.
+    = `Malformed);
+  (match Table.apply_delta t (delta ~epoch:1 [ (1, entry) ]) ~now:2. with
+  | `Applied s ->
+      check_float "entry updated" 9. (Snapshot.cost s Metric.Latency 1);
+      check_bool "stored" true (Table.row_epoch t 2 = Some 1)
+  | _ -> Alcotest.fail "next epoch must apply");
+  check_bool "replay -> stale" true
+    (Table.apply_delta t (delta ~epoch:1 [ (1, entry) ]) ~now:3. = `Stale)
+
+let test_delta_smaller_than_snapshot_when_sparse () =
+  let rng = Apor_util.Rng.make ~seed:3 in
+  let n = 100 in
+  let prev = random_snapshot ~rng ~owner:0 ~n in
+  let next =
+    Snapshot.with_entries prev
+      [ (3, Entry.unreachable); (17, Entry.make ~latency_ms:5. ~loss:0. ~alive:true) ]
+  in
+  let d = Wire.Delta.of_snapshots ~epoch:1 ~prev ~next in
+  check_int "two changes" 2 (List.length d.Wire.Delta.changes);
+  check_int "payload" 16 (Wire.Delta.payload_bytes d);
+  check_bool "far below 3n" true (Wire.Delta.payload_bytes d < Snapshot.payload_bytes next)
+
 (* --- Overhead ------------------------------------------------------------------ *)
 
 let test_overhead_sizes () =
   check_int "probe" 46 Overhead.probe_bytes;
   check_int "link state" (46 + 300) (Overhead.link_state_bytes ~n:100);
   check_int "multihop" (46 + 500) (Overhead.multihop_state_bytes ~n:100);
-  check_int "recommendation" (46 + 80) (Overhead.recommendation_message_bytes ~entries:20)
+  check_int "recommendation" (46 + 80) (Overhead.recommendation_message_bytes ~entries:20);
+  check_int "delta" (46 + 6 + 50) (Overhead.link_state_delta_bytes ~changes:10);
+  check_int "resync" (46 + 2) Overhead.resync_request_bytes
 
 (* --- Table ----------------------------------------------------------------------- *)
 
@@ -181,30 +326,37 @@ let snap ~owner ~n latency =
          if j = owner then Entry.self
          else Entry.make ~latency_ms:latency ~loss:0. ~alive:true))
 
+let ingest t s ~now = ignore (Table.ingest t s ~epoch:0 ~now : bool)
+
 let test_table_ingest_and_row () =
   let t = Table.create ~n:4 ~owner:0 in
   Alcotest.(check (option int)) "no row yet" None (Option.map Snapshot.owner (Table.row t 2));
-  Table.ingest t (snap ~owner:2 ~n:4 50.) ~now:10.;
+  check_bool "stored" true (Table.ingest t (snap ~owner:2 ~n:4 50.) ~epoch:0 ~now:10.);
   Alcotest.(check (option int)) "row stored" (Some 2) (Option.map Snapshot.owner (Table.row t 2));
+  Alcotest.(check (option int)) "epoch stored" (Some 0) (Table.row_epoch t 2);
   Alcotest.(check (option (float 1e-9))) "age" (Some 5.) (Table.row_age t 2 ~now:15.)
 
 let test_table_freshness_window () =
   let t = Table.create ~n:4 ~owner:0 in
-  Table.ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
+  ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
   check_bool "fresh at 40" true (Table.fresh_row t 1 ~now:40. ~max_age:45. <> None);
   check_bool "stale at 50" true (Table.fresh_row t 1 ~now:50. ~max_age:45. = None)
 
 let test_table_out_of_order_ignored () =
   let t = Table.create ~n:4 ~owner:0 in
-  Table.ingest t (snap ~owner:1 ~n:4 100.) ~now:20.;
-  Table.ingest t (snap ~owner:1 ~n:4 999.) ~now:10.;
+  check_bool "first stored" true
+    (Table.ingest t (snap ~owner:1 ~n:4 100.) ~epoch:1 ~now:20.);
+  check_bool "older time rejected" false
+    (Table.ingest t (snap ~owner:1 ~n:4 999.) ~epoch:1 ~now:10.);
+  check_bool "older epoch rejected" false
+    (Table.ingest t (snap ~owner:1 ~n:4 999.) ~epoch:0 ~now:30.);
   match Table.row t 1 with
   | None -> Alcotest.fail "row missing"
   | Some s -> check_float "newer kept" 100. (Snapshot.cost s Metric.Latency 2)
 
 let test_table_drop_row () =
   let t = Table.create ~n:4 ~owner:0 in
-  Table.ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
+  ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
   Table.drop_row t 1;
   check_bool "dropped" true (Table.row t 1 = None);
   Table.drop_row t 0;
@@ -212,24 +364,24 @@ let test_table_drop_row () =
 
 let test_table_known_rows () =
   let t = Table.create ~n:5 ~owner:2 in
-  Table.ingest t (snap ~owner:4 ~n:5 10.) ~now:0.;
-  Table.ingest t (snap ~owner:0 ~n:5 10.) ~now:0.;
+  ingest t (snap ~owner:4 ~n:5 10.) ~now:0.;
+  ingest t (snap ~owner:0 ~n:5 10.) ~now:0.;
   Alcotest.(check (list int)) "sorted" [ 0; 2; 4 ] (Table.known_rows t)
 
 let test_table_anyone_reaches () =
   let t = Table.create ~n:4 ~owner:0 in
   check_bool "nobody yet" false (Table.anyone_reaches t 3);
-  Table.ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
+  ingest t (snap ~owner:1 ~n:4 10.) ~now:0.;
   check_bool "row 1 reaches 3" true (Table.anyone_reaches t 3);
   (* a row from 3 itself must not count as evidence that 3 is reachable *)
   let t2 = Table.create ~n:4 ~owner:0 in
-  Table.ingest t2 (snap ~owner:3 ~n:4 10.) ~now:0.;
+  ingest t2 (snap ~owner:3 ~n:4 10.) ~now:0.;
   check_bool "self-report ignored" false (Table.anyone_reaches t2 3)
 
 let test_table_size_mismatch () =
   let t = Table.create ~n:4 ~owner:0 in
   Alcotest.check_raises "size" (Invalid_argument "Table: snapshot size differs from table size")
-    (fun () -> Table.ingest t (snap ~owner:1 ~n:5 10.) ~now:0.)
+    (fun () -> ingest t (snap ~owner:1 ~n:5 10.) ~now:0.)
 
 let qcheck t = QCheck_alcotest.to_alcotest t
 
@@ -267,6 +419,15 @@ let () =
           qcheck wire_entry_roundtrip;
           qcheck wire_recommendations_roundtrip;
           qcheck wire_decode_never_raises;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "apply_delta statuses" `Quick test_apply_delta_statuses;
+          Alcotest.test_case "sparse delta is small" `Quick
+            test_delta_smaller_than_snapshot_when_sparse;
+          qcheck snapshot_diff_roundtrip;
+          qcheck delta_wire_roundtrip;
+          qcheck delta_sequence_converges;
         ] );
       ("overhead", [ Alcotest.test_case "sizes" `Quick test_overhead_sizes ]);
       ( "table",

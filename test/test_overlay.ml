@@ -47,7 +47,22 @@ let test_message_sizes () =
   in
   check_int "probe" 46 (Message.size_bytes (Message.Probe { seq = 1 }));
   check_int "link state" (46 + 150)
-    (Message.size_bytes (Message.Link_state { view = 1; snapshot }));
+    (Message.size_bytes (Message.Link_state { view = 1; epoch = 0; snapshot }));
+  check_int "link state delta" (46 + 6 + 15)
+    (Message.size_bytes
+       (Message.Link_state_delta
+          {
+            view = 1;
+            delta =
+              {
+                Apor_linkstate.Wire.Delta.owner = 0;
+                epoch = 1;
+                changes =
+                  List.init 3 (fun i -> (i + 1, Apor_linkstate.Entry.unreachable));
+              };
+          }));
+  check_int "resync" (46 + 2)
+    (Message.size_bytes (Message.Ls_resync { view = 1; owner = 3 }));
   check_int "recommend" (46 + 40)
     (Message.size_bytes (Message.Recommend { view = 1; entries = List.init 10 (fun i -> (i, i)) }));
   check_int "view" (46 + 4 + 20)
@@ -538,7 +553,8 @@ let test_stale_view_messages_discarded () =
     Apor_linkstate.Snapshot.create ~owner:0
       (Array.make 5 Apor_linkstate.Entry.unreachable)
   in
-  Node.handle_message node0 ~src_port:2 (Message.Link_state { view = 1; snapshot = alien });
+  Node.handle_message node0 ~src_port:2
+    (Message.Link_state { view = 1; epoch = 0; snapshot = alien });
   Alcotest.(check (option int)) "alien snapshot ignored" route_before
     (Node.best_hop node0 ~dst_port:8)
 

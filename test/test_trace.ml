@@ -305,6 +305,40 @@ let test_regression_25_nodes_planetlab () =
       | None -> ())
     (Query.failover_spans tr)
 
+let test_incremental_rendezvous_identical () =
+  (* The per-pair cache is a pure optimization: over a failure-injected
+     900 s run, the recommendation streams of a cached and an uncached
+     cluster must match event for event, and the cached run must stay
+     violation-free under the oracle. *)
+  let n = 25 in
+  let run config =
+    let world = Internet.generate ~seed:42 ~n () in
+    let tr = Collector.create () in
+    let recs = ref [] in
+    Collector.subscribe tr (fun tv ->
+        match tv.Collector.event with
+        | Event.Rec_computed _ | Event.Rec_applied _ ->
+            recs := (tv.Collector.time, tv.Collector.event) :: !recs
+        | _ -> ());
+    let oracle = Oracle.create ~metric ~staleness_s () in
+    Oracle.attach oracle tr;
+    let c =
+      Cluster.create ~config ~rtt_ms:world.Internet.rtt_ms ~loss:world.Internet.loss
+        ~trace:tr ~seed:42 ()
+    in
+    let (_ : Failures.t) =
+      Failures.install ~engine:(Cluster.engine c) ~profile:Failures.planetlab ~seed:42 ()
+    in
+    Cluster.start c;
+    Cluster.run_until c 900.;
+    check_int "zero violations" 0 (Oracle.violation_count oracle);
+    List.rev !recs
+  in
+  let cached = run Config.quorum_default in
+  let uncached = run { Config.quorum_default with Config.incremental_rendezvous = false } in
+  check_bool "streams non-trivial" true (List.length cached > 1000);
+  check_bool "cached = uncached recommendation streams" true (cached = uncached)
+
 let test_tracing_disabled_identical_routes () =
   (* a traced run and an untraced run with the same seed must agree —
      tracing observes, never perturbs *)
@@ -381,6 +415,8 @@ let () =
             test_live_cluster_is_violation_free;
           Alcotest.test_case "25 nodes + planetlab churn" `Slow
             test_regression_25_nodes_planetlab;
+          Alcotest.test_case "cache does not change recommendations" `Slow
+            test_incremental_rendezvous_identical;
           Alcotest.test_case "tracing does not perturb" `Slow
             test_tracing_disabled_identical_routes;
           Alcotest.test_case "query matches engine accounting" `Slow
