@@ -171,7 +171,8 @@ let trace_summary r =
   | None -> ()
   | Some tr ->
       section "Trace summary (event stream over the measurement window)";
-      Trace_report.print tr ~n:r.n ~t0:r.t0 ~t1:r.t1
+      Trace_report.print ~engine:(Cluster.engine_stats r.cluster) tr ~n:r.n ~t0:r.t0
+        ~t1:r.t1
 
 let all ~quick ~seed ?trace () =
   let r = run ~quick ~seed ~trace in

@@ -8,10 +8,12 @@
      dune exec bench/main.exe -- --list         # experiment names
      dune exec bench/main.exe -- --only micro --json BENCH_core.json
                                                 # + scaling baseline JSON
+     dune exec bench/main.exe -- --only micro --jobs 4
+                                                # sweep points on 4 domains
 
    Output is plain text with gnuplot-style data blocks. *)
 
-let experiments ~quick ~seed ~trace ~json =
+let experiments ~quick ~seed ~trace ~json ~jobs =
   [
     ("table-config", fun () -> Experiments.table_config ());
     ("fig1", fun () -> Experiments.fig1 ~quick ~seed);
@@ -22,7 +24,7 @@ let experiments ~quick ~seed ~trace ~json =
     ("availability", fun () -> Experiments.availability ~quick ~seed);
     ("quorum-compare", fun () -> Experiments.quorum_compare ());
     ("ablation", fun () -> Ablation.run ~seed);
-    ("micro", fun () -> Micro.run ?json ~quick ~seed ());
+    ("micro", fun () -> Micro.run ?json ~jobs ~quick ~seed ());
   ]
 
 (* Run [f], teeing everything it prints to stdout into a string. *)
@@ -54,6 +56,7 @@ let () =
   let out_dir = ref None in
   let trace_file = ref None in
   let json_file = ref None in
+  let jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -77,16 +80,27 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse rest
+    | "--jobs" :: v :: rest ->
+        let j = int_of_string v in
+        if j < 1 then begin
+          Printf.eprintf "--jobs must be >= 1\n";
+          exit 2
+        end;
+        jobs := j;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S\n\
            (--quick | --seed N | --only a,b | --out DIR | --trace FILE | \
-           --json FILE | --list)\n"
+           --json FILE | --jobs N | --list)\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let all = experiments ~quick:!quick ~seed:!seed ~trace:!trace_file ~json:!json_file in
+  let all =
+    experiments ~quick:!quick ~seed:!seed ~trace:!trace_file ~json:!json_file
+      ~jobs:!jobs
+  in
   if !list_only then begin
     List.iter (fun (name, _) -> print_endline name) all;
     exit 0

@@ -106,6 +106,14 @@ type scale_run = {
   rec_latency_median_s : float;
   wall_s : float;
   wall_s_per_sim_s : float;
+  (* Engine profiling counters — the regression baseline for future perf
+     work (events/s is the simulator's throughput headline). *)
+  events : int;
+  events_per_wall_s : float;
+  max_pending : int;
+  drops : int;
+  gc_minor_words : float;
+  gc_major_words : float;
 }
 
 let window_t0 = 120.
@@ -113,6 +121,7 @@ let window_t1 = 240.
 
 let scale_once ~config ~mode ~n ~seed =
   let world = Apor_topology.Internet.generate ~seed ~n () in
+  let gc0 = Gc.quick_stat () in
   let wall0 = Unix.gettimeofday () in
   let c =
     Apor_overlay.Cluster.create ~config ~rtt_ms:world.Apor_topology.Internet.rtt_ms
@@ -121,6 +130,8 @@ let scale_once ~config ~mode ~n ~seed =
   Apor_overlay.Cluster.start c;
   Apor_overlay.Cluster.run_until c window_t1;
   let wall_s = Unix.gettimeofday () -. wall0 in
+  let gc1 = Gc.quick_stat () in
+  let stats = Apor_overlay.Cluster.engine_stats c in
   let per_node =
     List.init n (fun node ->
         Apor_overlay.Cluster.routing_kbps c ~node ~t0:window_t0 ~t1:window_t1)
@@ -149,6 +160,12 @@ let scale_once ~config ~mode ~n ~seed =
     rec_latency_median_s;
     wall_s;
     wall_s_per_sim_s = wall_s /. window_t1;
+    events = stats.Apor_sim.Engine.events;
+    events_per_wall_s = float_of_int stats.Apor_sim.Engine.events /. wall_s;
+    max_pending = stats.Apor_sim.Engine.max_pending;
+    drops = stats.Apor_sim.Engine.drops;
+    gc_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+    gc_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
   }
 
 (* Oracle-verified run: delta + incremental rendezvous with PlanetLab-style
@@ -195,7 +212,47 @@ let oracle_once ~n ~seed =
     recommendations_checked = Oracle.recommendations_checked oracle;
   }
 
-let write_json ~path ~seed ~runs ~oracle =
+(* Run [tasks] on [jobs] domains (the calling domain is one of them), each
+   worker pulling the next unstarted task off a shared counter.  Results
+   come back in task order, so output stays deterministic whatever the
+   interleaving.  Each sweep point is an independent deterministic
+   deployment — separate RNGs, network, cluster — so nothing is shared
+   between domains but the counter and the results array (disjoint
+   writes). *)
+let run_jobs ~jobs (tasks : (unit -> 'a) array) : 'a array =
+  let total = Array.length tasks in
+  let results = Array.make total None in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < total then begin
+      results.(i) <- Some (tasks.(i) ());
+      worker ()
+    end
+  in
+  let helpers =
+    List.init
+      (min (jobs - 1) (total - 1))
+      (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.map (function Some r -> r | None -> assert false) results
+
+(* Progress lines from concurrent sweep points would interleave mid-line
+   without this. *)
+let print_lock = Mutex.create ()
+
+let progress fmt =
+  Printf.ksprintf
+    (fun s ->
+      Mutex.lock print_lock;
+      print_string s;
+      flush stdout;
+      Mutex.unlock print_lock)
+    fmt
+
+let write_json ~path ~seed ~jobs ~runs ~oracle =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -203,6 +260,7 @@ let write_json ~path ~seed ~runs ~oracle =
   p "  \"generated_by\": \"dune exec bench/main.exe -- --only micro --json %s\",\n"
     (Filename.basename path);
   p "  \"seed\": %d,\n" seed;
+  p "  \"jobs\": %d,\n" jobs;
   p "  \"window\": { \"t0_s\": %g, \"t1_s\": %g },\n" window_t0 window_t1;
   p "  \"runs\": [\n";
   List.iteri
@@ -210,9 +268,13 @@ let write_json ~path ~seed ~runs ~oracle =
       p
         "    { \"n\": %d, \"mode\": %S, \"routing_bytes_per_node_s\": %.2f,\n\
         \      \"rec_latency_median_s\": %.3f, \"wall_s\": %.3f, \
-         \"wall_s_per_sim_s\": %.5f }%s\n"
+         \"wall_s_per_sim_s\": %.5f,\n\
+        \      \"events\": %d, \"events_per_wall_s\": %.0f, \"max_pending\": %d, \
+         \"drops\": %d,\n\
+        \      \"gc_minor_words\": %.0f, \"gc_major_words\": %.0f }%s\n"
         r.n r.mode r.routing_bytes_per_node_s r.rec_latency_median_s r.wall_s
-        r.wall_s_per_sim_s
+        r.wall_s_per_sim_s r.events r.events_per_wall_s r.max_pending r.drops
+        r.gc_minor_words r.gc_major_words
         (if i = List.length runs - 1 then "" else ","))
     runs;
   p "  ],\n";
@@ -223,34 +285,46 @@ let write_json ~path ~seed ~runs ~oracle =
   p "}\n";
   close_out oc
 
-let scaling ?json ~quick ~seed () =
+let scaling ?json ~quick ~jobs ~seed () =
   section "Protocol scaling: delta vs full-table announcements";
   Printf.printf
     "steady-state window [%g s, %g s]; bytes/node/s counts routing-class\n\
      traffic only (announcements, deltas, resyncs, recommendations).\n"
     window_t0 window_t1;
   let ns = if quick then [ 49; 144 ] else [ 49; 144; 400; 900 ] in
-  let runs =
+  let jobs = max 1 jobs in
+  if jobs > 1 then Printf.printf "sweep points on %d domains\n%!" jobs;
+  let full_config = Apor_overlay.Config.full_table Apor_overlay.Config.quorum_default in
+  let points =
     List.concat_map
       (fun n ->
-        let delta =
-          scale_once ~config:Apor_overlay.Config.quorum_default ~mode:"delta" ~n
-            ~seed
-        in
-        let full =
-          scale_once
-            ~config:(Apor_overlay.Config.full_table Apor_overlay.Config.quorum_default)
-            ~mode:"full" ~n ~seed
-        in
-        Printf.printf "n=%d done (delta %.1f B/node/s vs full %.1f B/node/s)\n%!"
-          n delta.routing_bytes_per_node_s full.routing_bytes_per_node_s;
-        [ delta; full ])
+        [
+          (n, "delta", Apor_overlay.Config.quorum_default); (n, "full", full_config);
+        ])
       ns
   in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (n, mode, config) () ->
+           let r = scale_once ~config ~mode ~n ~seed in
+           progress "n=%d %s done (%.1f B/node/s, %.0f events/s)\n" n mode
+             r.routing_bytes_per_node_s r.events_per_wall_s;
+           r)
+         points)
+  in
+  let runs = Array.to_list (run_jobs ~jobs tasks) in
   let table =
     Texttable.create
       ~header:
-        [ "n"; "mode"; "routing B/node/s"; "median rec latency"; "wall s / sim s" ]
+        [
+          "n";
+          "mode";
+          "routing B/node/s";
+          "median rec latency";
+          "wall s / sim s";
+          "events/s";
+        ]
   in
   List.iter
     (fun r ->
@@ -261,6 +335,7 @@ let scaling ?json ~quick ~seed () =
           Printf.sprintf "%.1f" r.routing_bytes_per_node_s;
           Printf.sprintf "%.1f s" r.rec_latency_median_s;
           Printf.sprintf "%.5f" r.wall_s_per_sim_s;
+          Printf.sprintf "%.0f" r.events_per_wall_s;
         ])
     runs;
   Texttable.print table;
@@ -275,10 +350,10 @@ let scaling ?json ~quick ~seed () =
   (match json with
   | None -> ()
   | Some path ->
-      write_json ~path ~seed ~runs ~oracle;
+      write_json ~path ~seed ~jobs ~runs ~oracle;
       Printf.printf "\nwrote %s\n" path)
 
-let run ?json ~quick ~seed () =
+let run ?json ?(jobs = 1) ~quick ~seed () =
   section "Microbenchmarks (Bechamel, monotonic clock)";
   let tests =
     Test.make_grouped ~name:"apor"
@@ -310,4 +385,4 @@ let run ?json ~quick ~seed () =
       Texttable.add_row table [ name; human estimate; Printf.sprintf "%.3f" r2 ])
     (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows);
   Texttable.print table;
-  scaling ?json ~quick ~seed ()
+  scaling ?json ~quick ~jobs ~seed ()

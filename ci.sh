@@ -12,6 +12,12 @@ fi
 dune build
 dune runtest
 
+# Bench smoke: the quick scaling sweep on 2 domains exercises the
+# calendar-queue engine, the parallel sweep runner and the JSON writer
+# end to end (the oracle run inside it must report zero violations).
+dune exec bench/main.exe -- --only micro --quick --jobs 2 --json /tmp/apor-bench-smoke.json
+rm -f /tmp/apor-bench-smoke.json
+
 # Documentation build (odoc). The libraries are private, so the pages live
 # under @doc-private. Skipped when odoc isn't installed (offline images).
 if command -v odoc >/dev/null 2>&1; then

@@ -39,10 +39,17 @@ let busiest_nodes ?(k = 5) tr ~n =
   |> List.sort (fun (_, s1, r1) (_, s2, r2) -> compare (s2 + r2, s2) (s1 + r1, s1))
   |> List.filteri (fun i _ -> i < k)
 
-let print tr ~n ~t0 ~t1 =
+let print ?engine tr ~n ~t0 ~t1 =
   let t = totals tr in
   Printf.printf "trace: %d events emitted, %d retained (ring capacity %d)\n" t.emitted
     t.retained (Collector.capacity tr);
+  (match engine with
+  | None -> ()
+  | Some s ->
+      let open Apor_sim.Engine in
+      Printf.printf
+        "engine: %d events processed (%d sends, %d delivers, %d drops), peak pending %d\n"
+        s.events s.sends s.delivers s.drops s.max_pending);
   Printf.printf "retained mix: %d sends, %d delivers, %d drops, %d protocol\n" t.sends
     t.delivers t.drops t.protocol;
   (match latency_summary ~t0 ~t1 tr with

@@ -23,5 +23,8 @@ val busiest_nodes : ?k:int -> Collector.t -> n:int -> (int * int * int) list
 (** Top [k] (default 5) nodes by retained engine-event count:
     [(node, sent, received)], busiest first. *)
 
-val print : Collector.t -> n:int -> t0:float -> t1:float -> unit
-(** Print the whole summary to stdout, bench-style. *)
+val print :
+  ?engine:Apor_sim.Engine.stats -> Collector.t -> n:int -> t0:float -> t1:float -> unit
+(** Print the whole summary to stdout, bench-style.  [engine], when given,
+    adds a line of the engine's lifetime profiling counters (events
+    processed, sends/delivers/drops, peak queue size). *)

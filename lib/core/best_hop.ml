@@ -94,8 +94,13 @@ module Cache = struct
   let check_owner t owner =
     if owner < 0 || owner >= t.n then invalid_arg "Best_hop.Cache: owner out of range"
 
+  (* The dropped pair keys also linger in the deps sets of their *other*
+     endpoint; those are swept lazily when that endpoint next updates.
+     Resetting this owner's own set keeps repeated [set_vector]s (the
+     full-snapshot ingest path) from re-walking an ever-growing set. *)
   let invalidate_pairs t owner =
-    Hashtbl.iter (fun key () -> Hashtbl.remove t.pairs key) t.deps.(owner)
+    Hashtbl.iter (fun key () -> Hashtbl.remove t.pairs key) t.deps.(owner);
+    Hashtbl.reset t.deps.(owner)
 
   let set_vector t owner v =
     check_owner t owner;
@@ -133,43 +138,44 @@ module Cache = struct
      (hop = dst) comes before every intermediary. *)
   let order ~dst hop = if hop = dst then -1 else hop
 
-  let update_pair t ~src ~dst key changed =
-    match Hashtbl.find_opt t.pairs key with
-    | None -> () (* not cached: nothing to maintain *)
-    | Some incumbent ->
-        let from_src = required_vector t src and to_dst = required_vector t dst in
-        let cand_cost h = if h = dst then from_src.(dst) else from_src.(h) +. to_dst.(h) in
-        let affected = List.exists (fun h -> h = incumbent.hop) changed in
-        let rescan () =
-          t.stats.rescans <- t.stats.rescans + 1;
-          Hashtbl.replace t.pairs key
-            (scan ~src ~dst ~cost_from_src:from_src ~cost_to_dst:to_dst)
-        in
-        if affected && cand_cost incumbent.hop > incumbent.cost then
-          (* The incumbent got worse: any of the n candidates may now win,
-             so this pair pays the full scan. *)
-          rescan ()
-        else begin
-          t.stats.updates <- t.stats.updates + 1;
-          let start =
-            if affected then { incumbent with cost = cand_cost incumbent.hop }
-            else incumbent
-          in
-          let better c h inc =
-            c < inc.cost || (c = inc.cost && order ~dst h < order ~dst inc.hop)
-          in
-          let choice =
-            List.fold_left
-              (fun inc h ->
-                if h = src then inc
-                else begin
-                  let c = cand_cost h in
-                  if better c h inc then { hop = h; cost = c } else inc
-                end)
-              start changed
-          in
-          if choice <> incumbent then Hashtbl.replace t.pairs key choice
+  (* Repair one cached pair against a batch of changed hop ids.  Runs once
+     per dependent pair per ingested announcement — the inner loop of the
+     incremental path — so it takes the incumbent it was found with (no
+     second table lookup), scans a plain int array and folds with local
+     refs instead of list closures. *)
+  let update_pair t ~src ~dst key incumbent (changed : int array) =
+    let from_src = required_vector t src and to_dst = required_vector t dst in
+    let cand_cost h = if h = dst then from_src.(dst) else from_src.(h) +. to_dst.(h) in
+    let affected = ref false in
+    for i = 0 to Array.length changed - 1 do
+      if changed.(i) = incumbent.hop then affected := true
+    done;
+    let affected = !affected in
+    if affected && cand_cost incumbent.hop > incumbent.cost then begin
+      (* The incumbent got worse: any of the n candidates may now win,
+         so this pair pays the full scan. *)
+      t.stats.rescans <- t.stats.rescans + 1;
+      Hashtbl.replace t.pairs key
+        (scan ~src ~dst ~cost_from_src:from_src ~cost_to_dst:to_dst)
+    end
+    else begin
+      t.stats.updates <- t.stats.updates + 1;
+      let best_hop = ref incumbent.hop in
+      let best_cost = ref (if affected then cand_cost incumbent.hop else incumbent.cost) in
+      for i = 0 to Array.length changed - 1 do
+        let h = changed.(i) in
+        if h <> src then begin
+          let c = cand_cost h in
+          if c < !best_cost || (c = !best_cost && order ~dst h < order ~dst !best_hop)
+          then begin
+            best_hop := h;
+            best_cost := c
+          end
         end
+      done;
+      if !best_hop <> incumbent.hop || !best_cost <> incumbent.cost then
+        Hashtbl.replace t.pairs key { hop = !best_hop; cost = !best_cost }
+    end
 
   let update_vector t owner ~changes =
     let v = required_vector t owner in
@@ -179,13 +185,37 @@ module Cache = struct
           invalid_arg "Best_hop.Cache.update_vector: id out of range";
         v.(id) <- cost)
       changes;
-    let changed = List.map fst changes in
-    if changed <> [] then
-      Hashtbl.iter
-        (fun key () ->
-          if Hashtbl.mem t.pairs key then begin
-            let src = key / t.n and dst = key mod t.n in
-            update_pair t ~src ~dst key changed
-          end)
-        t.deps.(owner)
+    match changes with
+    | [] -> ()
+    | _ ->
+        let changed = Array.of_list (List.map fst changes) in
+        if Array.length changed > 8 && Array.length changed * 8 > t.n then
+          (* A large slice of the row moved (steady-state measurement
+             noise re-quantizing many entries at once).  Repairing every
+             dependent pair against every changed hop costs more than the
+             single canonical rescan the next query pays, and repeated
+             invalidation is idempotent where repeated repair is not —
+             so spill to invalidation.  Queries see identical results
+             either way: a miss reruns the canonical scan. *)
+          invalidate_pairs t owner
+        else begin
+          let deps = t.deps.(owner) in
+          (* Snapshot the keys: [update_pair] replaces bindings in [pairs],
+             and stale keys (whose pair a [set_vector] on the other endpoint
+             invalidated) are swept from [deps] as they are encountered. *)
+          let keys = Array.make (Hashtbl.length deps) 0 in
+          let k = ref 0 in
+          Hashtbl.iter
+            (fun key () ->
+              keys.(!k) <- key;
+              incr k)
+            deps;
+          for i = 0 to Array.length keys - 1 do
+            let key = keys.(i) in
+            match Hashtbl.find_opt t.pairs key with
+            | None -> Hashtbl.remove deps key
+            | Some incumbent ->
+                update_pair t ~src:(key / t.n) ~dst:(key mod t.n) key incumbent changed
+          done
+        end
 end

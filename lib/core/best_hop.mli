@@ -94,6 +94,10 @@ module Cache : sig
   val update_vector : t -> Nodeid.t -> changes:(Nodeid.t * float) list -> unit
   (** Apply [changes] ([(id, new cost)]) to [owner]'s stored vector in
       place and incrementally repair every cached pair involving [owner].
+      When the batch is large relative to [n] (steady-state measurement
+      noise rather than a link event), the dependent pairs are invalidated
+      instead — the next query's canonical rescan is cheaper than
+      per-change repair, and answers are identical either way.
       @raise Invalid_argument when no vector is stored or an id is out of
       range. *)
 end

@@ -70,28 +70,48 @@ let alive_count t =
 
 let payload_bytes t = 3 * size t
 
-let with_entries t changes =
+let copy t =
+  {
+    owner = t.owner;
+    latency = Array.copy t.latency;
+    loss = Array.copy t.loss;
+    live = Bytes.copy t.live;
+  }
+
+let overwrite t changes =
   let n = Array.length t.latency in
-  let latency = Array.copy t.latency in
-  let loss = Array.copy t.loss in
-  let live = Bytes.copy t.live in
   List.iter
     (fun (j, e) ->
-      if j < 0 || j >= n then invalid_arg "Snapshot.with_entries: id out of range";
+      if j < 0 || j >= n then invalid_arg "Snapshot.overwrite: id out of range";
       let e = Entry.quantize (if j = t.owner then Entry.self else e) in
-      latency.(j) <- e.Entry.latency_ms;
-      loss.(j) <- e.Entry.loss;
-      Bytes.set live j (if e.Entry.alive then '\001' else '\000'))
-    changes;
-  { owner = t.owner; latency; loss; live }
+      t.latency.(j) <- e.Entry.latency_ms;
+      t.loss.(j) <- e.Entry.loss;
+      Bytes.set t.live j (if e.Entry.alive then '\001' else '\000'))
+    changes
 
+let with_entries t changes =
+  let next = copy t in
+  overwrite next changes;
+  next
+
+(* Runs once per node per routing tick over the whole row — compare the
+   parallel arrays directly and allocate entries only for actual changes,
+   rather than materializing two [Entry.t] per index. *)
 let diff ~prev ~next =
   if prev.owner <> next.owner then invalid_arg "Snapshot.diff: owners differ";
   if size prev <> size next then invalid_arg "Snapshot.diff: sizes differ";
   let acc = ref [] in
   for j = size prev - 1 downto 0 do
-    if not (Entry.equal (entry prev j) (entry next j)) then
-      acc := (j, entry next j) :: !acc
+    let pa = alive prev j and na = alive next j in
+    let changed =
+      if pa <> na then true
+      else
+        pa
+        && not
+             (Float.equal prev.latency.(j) next.latency.(j)
+             && Float.equal prev.loss.(j) next.loss.(j))
+    in
+    if changed then acc := (j, entry next j) :: !acc
   done;
   !acc
 

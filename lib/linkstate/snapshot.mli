@@ -35,6 +35,17 @@ val alive_count : t -> int
 val payload_bytes : t -> int
 (** Wire payload size: [3 * n] bytes, per the paper. *)
 
+val copy : t -> t
+(** Deep copy; the result shares nothing with the original. *)
+
+val overwrite : t -> (Nodeid.t * Entry.t) list -> unit
+(** In-place {!with_entries}: replace each listed entry (quantized, owner
+    index forced to {!Entry.self}) inside [t] itself.  Snapshots are
+    shared freely — between a sender's announcement history and every
+    receiver's table in the emulation — so this is only safe on a snapshot
+    the caller exclusively owns (see {!Table.apply_delta}'s [reuse]).
+    @raise Invalid_argument for an out-of-range id. *)
+
 val with_entries : t -> (Nodeid.t * Entry.t) list -> t
 (** [with_entries t changes] is [t] with each listed entry replaced
     (quantized, owner index forced to {!Entry.self}) — how a receiver

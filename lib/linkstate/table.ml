@@ -1,6 +1,16 @@
 open Apor_util
 
-type row = { snapshot : Snapshot.t; received_at : float; epoch : int }
+(* [exclusive] records whether this table holds the only reference to
+   [snapshot].  Snapshots arriving in messages are shared objects in the
+   emulation (the sender and every other receiver hold the same pointer),
+   so they are never exclusive; a copy made while applying a delta is —
+   until the caller asks to retain it. *)
+type row = {
+  mutable snapshot : Snapshot.t;
+  mutable received_at : float;
+  mutable epoch : int;
+  mutable exclusive : bool;
+}
 
 type t = { n : int; owner : Nodeid.t; rows : row option array }
 
@@ -15,6 +25,7 @@ let create ~n ~owner =
         snapshot = Snapshot.create ~owner dead;
         received_at = neg_infinity;
         epoch = -1;
+        exclusive = false;
       };
   { n; owner; rows }
 
@@ -29,7 +40,7 @@ let set_own_row t snapshot ~epoch ~now =
   check_size t snapshot;
   if Snapshot.owner snapshot <> t.owner then
     invalid_arg "Table.set_own_row: snapshot not owned by table owner";
-  t.rows.(t.owner) <- Some { snapshot; received_at = now; epoch }
+  t.rows.(t.owner) <- Some { snapshot; received_at = now; epoch; exclusive = false }
 
 let ingest t snapshot ~epoch ~now =
   check_size t snapshot;
@@ -38,10 +49,10 @@ let ingest t snapshot ~epoch ~now =
   | Some stored when stored.received_at > now || epoch < stored.epoch ->
       false (* out-of-order delivery: a newer copy is already stored *)
   | Some _ | None ->
-      t.rows.(id) <- Some { snapshot; received_at = now; epoch };
+      t.rows.(id) <- Some { snapshot; received_at = now; epoch; exclusive = false };
       true
 
-let apply_delta t (delta : Wire.Delta.t) ~now =
+let apply_delta ?(reuse = false) t (delta : Wire.Delta.t) ~now =
   if delta.Wire.Delta.owner < 0 || delta.Wire.Delta.owner >= t.n then `Malformed
   else if
     List.exists (fun (id, _) -> id < 0 || id >= t.n) delta.Wire.Delta.changes
@@ -53,10 +64,21 @@ let apply_delta t (delta : Wire.Delta.t) ~now =
         if delta.Wire.Delta.epoch <= stored.epoch then `Stale
         else if delta.Wire.Delta.epoch > stored.epoch + 1 then `Gap
         else begin
-          let snapshot = Wire.Delta.apply delta stored.snapshot in
-          t.rows.(delta.Wire.Delta.owner) <-
-            Some { snapshot; received_at = now; epoch = delta.Wire.Delta.epoch };
-          `Applied snapshot
+          (* The full-row copy in [Wire.Delta.apply] is the delta path's
+             dominant cost at scale; once this table owns its private copy
+             of the row, later deltas can mutate it in place. *)
+          if reuse && stored.exclusive then begin
+            Snapshot.overwrite stored.snapshot delta.Wire.Delta.changes;
+            stored.received_at <- now;
+            stored.epoch <- delta.Wire.Delta.epoch
+          end
+          else begin
+            stored.snapshot <- Wire.Delta.apply delta stored.snapshot;
+            stored.received_at <- now;
+            stored.epoch <- delta.Wire.Delta.epoch;
+            stored.exclusive <- reuse
+          end;
+          `Applied stored.snapshot
         end
   end
 

@@ -43,14 +43,26 @@ val ingest : t -> Snapshot.t -> epoch:int -> now:float -> bool
     @raise Invalid_argument on a size mismatch. *)
 
 val apply_delta :
-  t -> Wire.Delta.t -> now:float -> [ `Applied of Snapshot.t | `Stale | `Gap | `Malformed ]
+  ?reuse:bool ->
+  t ->
+  Wire.Delta.t ->
+  now:float ->
+  [ `Applied of Snapshot.t | `Stale | `Gap | `Malformed ]
 (** Apply a delta announcement to its owner's row.  [`Applied s] stores and
     returns the reconstructed snapshot (the delta's epoch was exactly one
     past the stored row's).  [`Stale] means the delta's epoch is not newer
     than the stored row — a duplicate or reordered old packet, safe to
     drop.  [`Gap] means the base epoch is missing (no row, or one or more
     announcements were lost): the caller should request a full snapshot.
-    [`Malformed] flags out-of-range ids — network junk, never stored. *)
+    [`Malformed] flags out-of-range ids — network junk, never stored.
+
+    [reuse] (default [false]) allows the table, once it holds a private
+    copy of the row, to apply later deltas in place instead of re-copying
+    the whole row — the delta path's dominant cost at scale.  Only pass
+    [true] under the contract that snapshots read out of this table
+    (including the [`Applied] result) are never retained across a
+    subsequent [apply_delta]: the emulation's router does exactly that
+    when no trace collector (which mirrors and keeps rows) is attached. *)
 
 val row : t -> Nodeid.t -> Snapshot.t option
 (** Latest snapshot from node [i], regardless of age. *)

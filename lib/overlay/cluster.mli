@@ -21,6 +21,7 @@ val create :
   ?loss:float array array ->
   ?membership:membership ->
   ?trace:Apor_trace.Collector.t ->
+  ?scheduler:Engine.scheduler ->
   seed:int ->
   unit ->
   t
@@ -29,13 +30,19 @@ val create :
     loss.  A [trace] collector is pointed at the engine's virtual clock and
     receives every engine event (send/deliver/drop) plus every node's
     protocol events; attach sinks, subscribers or an
-    {!Apor_trace.Oracle} to it before calling {!start}.
+    {!Apor_trace.Oracle} to it before calling {!start}.  [scheduler]
+    selects the engine's queue backend (default [Calendar]); both backends
+    produce identical event orders, so this only matters for determinism
+    regressions and perf comparisons.
     @raise Invalid_argument on malformed matrices. *)
 
 val n : t -> int
 (** Number of overlay nodes (excluding any coordinator). *)
 
 val engine : t -> Message.t Engine.t
+
+val engine_stats : t -> Engine.stats
+(** Profiling counters of the underlying engine. *)
 
 val network : t -> Network.t
 

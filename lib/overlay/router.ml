@@ -38,6 +38,10 @@ type ctx = {
   mutable announce_epoch : int;
   mutable last_announced : Snapshot.t option;
   last_sent : (Nodeid.t, int) Hashtbl.t;
+  (* Per-destination connecting rendezvous servers; a pure function of the
+     grid, cached because the failover maintenance pass asks for every
+     destination every tick. *)
+  connecting_memo : Nodeid.t list option array;
   (* Incremental round-two state: cost vectors mirroring our table rows,
      repaired in O(changes) per ingested announcement. *)
   cache : Best_hop.Cache.t option;
@@ -98,6 +102,7 @@ let set_view t v =
               announce_epoch = 0;
               last_announced = None;
               last_sent = Hashtbl.create 8;
+              connecting_memo = Array.make m None;
               cache =
                 (if t.config.incremental_rendezvous && m >= 2 then
                    Some (Best_hop.Cache.create ~n:m)
@@ -125,8 +130,15 @@ let make_snapshot t ctx =
    separately — we compute locally for our own clients, and the destination
    serving us is just the direct announcement). *)
 let default_connecting ctx dst =
-  Grid.connecting ctx.grid ctx.self dst
-  |> List.filter (fun k -> k <> ctx.self && k <> dst)
+  match ctx.connecting_memo.(dst) with
+  | Some servers -> servers
+  | None ->
+      let servers =
+        Grid.connecting ctx.grid ctx.self dst
+        |> List.filter (fun k -> k <> ctx.self && k <> dst)
+      in
+      ctx.connecting_memo.(dst) <- Some servers;
+      servers
 
 let proximally_dead t ctx rank =
   rank <> ctx.self && not (Monitor.alive t.monitor (View.port_of_rank ctx.view rank))
@@ -379,22 +391,36 @@ let tick t =
                  snapshot;
                })
       | None -> ());
+      (* One diff of this tick's snapshot against the previous one feeds
+         both consumers — the incremental cache repair and the delta
+         announcement — instead of each diffing the pair separately. *)
+      let have_own_vector =
+        match ctx.cache with
+        | Some cache -> Best_hop.Cache.vector cache ctx.self <> None
+        | None -> false
+      in
+      let changes_prev =
+        match ctx.last_announced with
+        | Some prev when t.config.delta_link_state || have_own_vector ->
+            Some (Snapshot.diff ~prev ~next:snapshot)
+        | Some _ | None -> None
+      in
       (* Keep our own cost vector in the incremental cache, by diff against
          the previous tick's snapshot when we have one. *)
       (match ctx.cache with
       | Some cache -> (
-          match (Best_hop.Cache.vector cache ctx.self, ctx.last_announced) with
-          | Some _, Some prev ->
+          match changes_prev with
+          | Some changes when have_own_vector ->
               Best_hop.Cache.update_vector cache ctx.self
-                ~changes:(cost_changes metric (Snapshot.diff ~prev ~next:snapshot))
-          | _ ->
+                ~changes:(cost_changes metric changes)
+          | Some _ | None ->
               Best_hop.Cache.set_vector cache ctx.self
                 (Snapshot.cost_vector snapshot metric))
       | None -> ());
       let delta =
         if t.config.delta_link_state then
-          match ctx.last_announced with
-          | Some prev -> Some (Wire.Delta.of_snapshots ~epoch ~prev ~next:snapshot)
+          match changes_prev with
+          | Some changes -> Some { Wire.Delta.owner = ctx.self; epoch; changes }
           | None -> None
         else None
       in
@@ -540,7 +566,14 @@ let handle_link_state_delta t ~view:version (delta : Wire.Delta.t) =
   | Some ctx
     when View.version ctx.view = version && delta.Wire.Delta.owner <> ctx.self -> (
       let owner = delta.Wire.Delta.owner in
-      match Table.apply_delta ctx.table delta ~now:(t.cb.now ()) with
+      (* Without a trace attached, nothing retains snapshots read from the
+         table (the cache copies costs out immediately), so the table may
+         recycle its private row copies in place; the oracle's mirror
+         requires the copy semantics. *)
+      match
+        Table.apply_delta ~reuse:(Option.is_none t.trace) ctx.table delta
+          ~now:(t.cb.now ())
+      with
       | `Applied snapshot -> (
           (match ctx.cache with
           | Some cache when Best_hop.Cache.vector cache owner <> None ->

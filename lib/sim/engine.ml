@@ -6,23 +6,55 @@ type tap = {
   on_drop : cls:Traffic.cls -> src:int -> dst:int -> bytes:int -> unit;
 }
 
+(* Message deliveries — the bulk of the event population — carry their
+   payload inline instead of capturing it in a closure; only node timers
+   stay generic. *)
+type 'msg event =
+  | Deliver of { cls : Traffic.cls; src : int; dst : int; bytes : int; msg : 'msg }
+  | Timer of (unit -> unit)
+
+type scheduler = Calendar | Binary_heap
+
+type 'msg queue = Cal of 'msg event Calqueue.t | Bin of 'msg event Heap.t
+
+type stats = {
+  events : int;
+  sends : int;
+  delivers : int;
+  drops : int;
+  max_pending : int;
+}
+
 type 'msg t = {
   network : Network.t;
   traffic : Traffic.t;
-  events : (unit -> unit) Heap.t;
+  queue : 'msg queue;
   mutable clock : float;
   mutable handler : (dst:int -> src:int -> 'msg -> unit) option;
   mutable tap : tap option;
+  mutable n_events : int;
+  mutable n_sends : int;
+  mutable n_delivers : int;
+  mutable n_drops : int;
+  mutable max_pending : int;
 }
 
-let create ~network =
+let create ?(scheduler = Calendar) ~network () =
   {
     network;
     traffic = Traffic.create ~n:(Network.size network);
-    events = Heap.create ();
+    queue =
+      (match scheduler with
+      | Calendar -> Cal (Calqueue.create ())
+      | Binary_heap -> Bin (Heap.create ()));
     clock = 0.;
     handler = None;
     tap = None;
+    n_events = 0;
+    n_sends = 0;
+    n_delivers = 0;
+    n_drops = 0;
+    max_pending = 0;
   }
 
 let network t = t.network
@@ -31,11 +63,33 @@ let now t = t.clock
 let set_handler t f = t.handler <- Some f
 let set_tap t tap = t.tap <- tap
 
+let pending t =
+  match t.queue with Cal q -> Calqueue.length q | Bin q -> Heap.length q
+
+let stats t =
+  {
+    events = t.n_events;
+    sends = t.n_sends;
+    delivers = t.n_delivers;
+    drops = t.n_drops;
+    max_pending = t.max_pending;
+  }
+
+let q_push t ~key ev =
+  (match t.queue with
+  | Cal q -> Calqueue.push q ~key ev
+  | Bin q -> Heap.push q ~key ev);
+  let p = pending t in
+  if p > t.max_pending then t.max_pending <- p
+
+let q_pop t = match t.queue with Cal q -> Calqueue.pop q | Bin q -> Heap.pop q
+let q_peek t = match t.queue with Cal q -> Calqueue.peek q | Bin q -> Heap.peek q
+
 let schedule t ~delay f =
   if Float.is_nan delay || delay < 0. then invalid_arg "Engine.schedule: bad delay";
-  Heap.push t.events ~key:(t.clock +. delay) f
+  q_push t ~key:(t.clock +. delay) (Timer f)
 
-let schedule_at t ~time f = Heap.push t.events ~key:(Float.max time t.clock) f
+let schedule_at t ~time f = q_push t ~key:(Float.max time t.clock) (Timer f)
 
 let deliver t ~dst ~src msg =
   match t.handler with
@@ -43,35 +97,40 @@ let deliver t ~dst ~src msg =
   | None -> failwith "Engine: message delivered with no handler installed"
 
 let send t ~cls ~src ~dst ~bytes msg =
+  t.n_sends <- t.n_sends + 1;
   Traffic.record t.traffic cls ~node:src ~bytes ~now:t.clock;
   (match t.tap with Some tap -> tap.on_send ~cls ~src ~dst ~bytes | None -> ());
   match Network.sample_delivery t.network ~src ~dst with
   | None -> (
+      t.n_drops <- t.n_drops + 1;
       match t.tap with Some tap -> tap.on_drop ~cls ~src ~dst ~bytes | None -> ())
-  | Some delay ->
-      schedule t ~delay (fun () ->
-          Traffic.record t.traffic cls ~node:dst ~bytes ~now:t.clock;
-          (match t.tap with
-          | Some tap -> tap.on_deliver ~cls ~src ~dst ~bytes
-          | None -> ());
-          deliver t ~dst ~src msg)
+  | Some delay -> q_push t ~key:(t.clock +. delay) (Deliver { cls; src; dst; bytes; msg })
+
+let exec t = function
+  | Timer f -> f ()
+  | Deliver { cls; src; dst; bytes; msg } ->
+      t.n_delivers <- t.n_delivers + 1;
+      Traffic.record t.traffic cls ~node:dst ~bytes ~now:t.clock;
+      (match t.tap with
+      | Some tap -> tap.on_deliver ~cls ~src ~dst ~bytes
+      | None -> ());
+      deliver t ~dst ~src msg
 
 let step t =
-  match Heap.pop t.events with
+  match q_pop t with
   | None -> false
-  | Some (time, f) ->
+  | Some (time, ev) ->
       t.clock <- Float.max t.clock time;
-      f ();
+      t.n_events <- t.n_events + 1;
+      exec t ev;
       true
 
 let run_until t horizon =
   let rec go () =
-    match Heap.peek t.events with
+    match q_peek t with
     | Some (time, _) when time <= horizon ->
         ignore (step t);
         go ()
     | Some _ | None -> t.clock <- Float.max t.clock horizon
   in
   go ()
-
-let pending t = Heap.length t.events

@@ -1,17 +1,28 @@
 (** The discrete-event engine.
 
-    A single virtual clock, an event heap and a message layer over
+    A single virtual clock, an event queue and a message layer over
     {!Network}.  Protocol code registers one dispatch function; [send]
     samples the network for loss and delay, accounts traffic on both ends
     and schedules the delivery.  Events at equal times run in scheduling
     order, so runs are fully deterministic for a given seed.
+
+    Message deliveries are stored as a typed record — class, endpoints,
+    size and payload inline — so the [send] hot path allocates no closure;
+    generic [(unit -> unit)] timers remain for node ticks.  The queue
+    itself is a calendar queue ({!Apor_util.Calqueue}) by default, with the
+    reference binary heap selectable for determinism regressions; both
+    produce identical event orders.
 
     The engine is polymorphic in the protocol's message type: the overlay
     instantiates ['msg] with its own variant. *)
 
 type 'msg t
 
-val create : network:Network.t -> 'msg t
+type scheduler =
+  | Calendar  (** Calendar queue / timing wheel — the default. *)
+  | Binary_heap  (** Reference {!Apor_util.Heap}; same ordering, slower. *)
+
+val create : ?scheduler:scheduler -> network:Network.t -> unit -> 'msg t
 (** Fresh engine at time 0 with no handler installed. *)
 
 val network : 'msg t -> Network.t
@@ -62,3 +73,15 @@ val step : 'msg t -> bool
 
 val pending : 'msg t -> int
 (** Number of queued events. *)
+
+type stats = {
+  events : int;  (** Events processed (popped and executed). *)
+  sends : int;  (** Packets transmitted via [send]. *)
+  delivers : int;  (** Packets that reached their destination. *)
+  drops : int;  (** Packets lost in the network. *)
+  max_pending : int;  (** Peak size of the event queue. *)
+}
+(** Lifetime profiling counters; cheap enough to maintain unconditionally. *)
+
+val stats : 'msg t -> stats
+(** Snapshot of the counters so far. *)

@@ -26,7 +26,13 @@ val record : t -> cls -> node:int -> bytes:int -> now:float -> unit
     receiver. @raise Invalid_argument on negative time or out-of-range node. *)
 
 val bytes_in_range : t -> cls:cls -> node:int -> t0:float -> t1:float -> int
-(** Total bytes in buckets [floor t0 .. floor t1 - 1]. *)
+(** Total bytes in the half-open interval [\[t0, t1)], at one-second bucket
+    granularity: a byte recorded at time [now] is counted iff
+    [floor t0 <= floor now < floor t1].  Consequently [t0 = t1] (and any
+    pair with [floor t0 = floor t1]) yields 0, fractional bounds snap down
+    to whole seconds, and adjacent windows [\[a, b)], [\[b, c)] partition the
+    stream with no double counting.  Out-of-range times clamp to the
+    recorded span. *)
 
 val kbps : t -> classes:cls list -> node:int -> t0:float -> t1:float -> float
 (** Average kilobits per second over the interval, classes summed. *)

@@ -9,15 +9,22 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Slots at index >= size are dead and must not keep their last entry (and
+   everything the entry's value captures) reachable for the rest of the
+   heap's lifetime.  They are overwritten with an immediate 0, which the GC
+   treats as an integer; the invariant that no code reads beyond [size]
+   keeps this safe. *)
+let hole () : 'a entry = Obj.magic 0
+
 let create () = { data = [||]; size = 0; next_seq = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
 let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let capacity = max 16 (2 * Array.length t.data) in
-  let data = Array.make capacity entry in
+  let data = Array.make capacity (hole ()) in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
@@ -50,7 +57,7 @@ let push t ~key value =
   if Float.is_nan key then invalid_arg "Heap.push: NaN key";
   let entry = { key; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.data then grow t entry;
+  if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t.data (t.size - 1)
@@ -64,6 +71,9 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t.data t.size 0
     end;
+    (* Release the vacated slot, or the popped entry stays reachable until
+       a later push happens to land on it. *)
+    t.data.(t.size) <- hole ();
     Some (top.key, top.value)
   end
 

@@ -1,6 +1,8 @@
 (** Mutable binary min-heap keyed by floats.
 
-    The simulator's event queue: [pop] returns elements in non-decreasing
+    The simulator's reference event queue (the hot path runs on
+    {!Calqueue}, which reproduces this ordering exactly): [pop] returns
+    elements in non-decreasing
     key order; ties are broken by insertion order so that events scheduled
     for the same instant run first-scheduled-first — a property the protocol
     state machines rely on for determinism. *)
@@ -18,7 +20,9 @@ val push : 'a t -> key:float -> 'a -> unit
     @raise Invalid_argument if [key] is NaN. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the minimum-key element, if any. *)
+(** Remove and return the minimum-key element, if any.  The vacated slot is
+    released, so the popped element is collectable as soon as the caller
+    drops it. *)
 
 val peek : 'a t -> (float * 'a) option
 (** Return the minimum-key element without removing it. *)

@@ -59,11 +59,15 @@ let test_network_rejects_malformed () =
 
 (* --- Engine ------------------------------------------------------------------- *)
 
-let make_engine () =
-  Engine.create ~network:(Network.create ~rtt_ms:two_node_rtt ~seed:3 ())
+(* Every engine test runs against both scheduler backends: the calendar
+   queue (production) and the reference binary heap.  They must be
+   observationally identical. *)
 
-let test_engine_schedule_order () =
-  let e = make_engine () in
+let make_engine ?scheduler () =
+  Engine.create ?scheduler ~network:(Network.create ~rtt_ms:two_node_rtt ~seed:3 ()) ()
+
+let test_engine_schedule_order scheduler () =
+  let e = make_engine ~scheduler () in
   let log = ref [] in
   Engine.schedule e ~delay:2. (fun () -> log := "b" :: !log);
   Engine.schedule e ~delay:1. (fun () -> log := "a" :: !log);
@@ -72,8 +76,8 @@ let test_engine_schedule_order () =
   Alcotest.(check (list string)) "order (ties FIFO)" [ "a"; "b"; "c" ] (List.rev !log);
   check_float "clock at horizon" 10. (Engine.now e)
 
-let test_engine_send_delivers_with_latency () =
-  let e = make_engine () in
+let test_engine_send_delivers_with_latency scheduler () =
+  let e = make_engine ~scheduler () in
   let arrival = ref nan in
   Engine.set_handler e (fun ~dst ~src msg ->
       check_int "dst" 1 dst;
@@ -85,8 +89,8 @@ let test_engine_send_delivers_with_latency () =
   Engine.run_until e 5.;
   check_float "arrival = 1 + rtt/2" 1.05 !arrival
 
-let test_engine_send_accounts_traffic () =
-  let e = make_engine () in
+let test_engine_send_accounts_traffic scheduler () =
+  let e = make_engine ~scheduler () in
   Engine.set_handler e (fun ~dst:_ ~src:_ _ -> ());
   Engine.send e ~cls:Traffic.Routing ~src:0 ~dst:1 ~bytes:100 0;
   Engine.run_until e 1.;
@@ -94,10 +98,10 @@ let test_engine_send_accounts_traffic () =
   check_int "out at 0" 100 (Traffic.bytes_in_range traffic ~cls:Traffic.Routing ~node:0 ~t0:0. ~t1:1.);
   check_int "in at 1" 100 (Traffic.bytes_in_range traffic ~cls:Traffic.Routing ~node:1 ~t0:0. ~t1:1.)
 
-let test_engine_dropped_message_charges_sender_only () =
+let test_engine_dropped_message_charges_sender_only scheduler () =
   let net = Network.create ~rtt_ms:two_node_rtt ~seed:3 () in
   Network.set_link_up net 0 1 false;
-  let e = Engine.create ~network:net in
+  let e = Engine.create ~scheduler ~network:net () in
   Engine.set_handler e (fun ~dst:_ ~src:_ _ -> Alcotest.fail "should not deliver");
   Engine.send e ~cls:Traffic.Routing ~src:0 ~dst:1 ~bytes:100 0;
   Engine.run_until e 1.;
@@ -105,14 +109,14 @@ let test_engine_dropped_message_charges_sender_only () =
   check_int "out charged" 100 (Traffic.bytes_in_range traffic ~cls:Traffic.Routing ~node:0 ~t0:0. ~t1:1.);
   check_int "in not charged" 0 (Traffic.bytes_in_range traffic ~cls:Traffic.Routing ~node:1 ~t0:0. ~t1:1.)
 
-let test_engine_no_handler_fails () =
-  let e = make_engine () in
+let test_engine_no_handler_fails scheduler () =
+  let e = make_engine ~scheduler () in
   Engine.send e ~cls:Traffic.Probe ~src:0 ~dst:1 ~bytes:1 0;
   Alcotest.check_raises "no handler" (Failure "Engine: message delivered with no handler installed")
     (fun () -> Engine.run_until e 1.)
 
-let test_engine_step_and_pending () =
-  let e = make_engine () in
+let test_engine_step_and_pending scheduler () =
+  let e = make_engine ~scheduler () in
   Engine.schedule e ~delay:1. ignore;
   Engine.schedule e ~delay:2. ignore;
   check_int "pending" 2 (Engine.pending e);
@@ -121,10 +125,10 @@ let test_engine_step_and_pending () =
   check_bool "step" true (Engine.step e);
   check_bool "exhausted" false (Engine.step e)
 
-let test_engine_determinism () =
+let test_engine_determinism scheduler () =
   let run () =
     let net = Network.create ~rtt_ms:two_node_rtt ~loss:[| [| 0.; 0.5 |]; [| 0.5; 0. |] |] ~seed:9 () in
-    let e = Engine.create ~network:net in
+    let e = Engine.create ~scheduler ~network:net () in
     let received = ref 0 in
     Engine.set_handler e (fun ~dst:_ ~src:_ _ -> incr received);
     for i = 1 to 100 do
@@ -136,33 +140,82 @@ let test_engine_determinism () =
   in
   check_int "same seed same outcome" (run ()) (run ())
 
-let test_engine_negative_delay_rejected () =
-  let e = make_engine () in
+let test_engine_negative_delay_rejected scheduler () =
+  let e = make_engine ~scheduler () in
   Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: bad delay") (fun () ->
       Engine.schedule e ~delay:(-1.) ignore)
 
 
-let test_engine_schedule_at_past_clamps () =
-  let e = make_engine () in
+let test_engine_schedule_at_past_clamps scheduler () =
+  let e = make_engine ~scheduler () in
   Engine.run_until e 10.;
   let fired_at = ref nan in
   Engine.schedule_at e ~time:5. (fun () -> fired_at := Engine.now e);
   Engine.run_until e 20.;
   check_float "clamped to now" 10. !fired_at
 
-let test_engine_run_until_no_events () =
-  let e = make_engine () in
+let test_engine_run_until_no_events scheduler () =
+  let e = make_engine ~scheduler () in
   Engine.run_until e 42.;
   check_float "clock advances to horizon" 42. (Engine.now e)
 
-let test_engine_nested_scheduling () =
-  let e = make_engine () in
+let test_engine_nested_scheduling scheduler () =
+  let e = make_engine ~scheduler () in
   let log = ref [] in
   Engine.schedule e ~delay:1. (fun () ->
       log := "outer" :: !log;
       Engine.schedule e ~delay:1. (fun () -> log := "inner" :: !log));
   Engine.run_until e 3.;
   Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let test_engine_stats scheduler () =
+  let net =
+    Network.create ~rtt_ms:two_node_rtt ~loss:[| [| 0.; 0.5 |]; [| 0.5; 0. |] |] ~seed:9 ()
+  in
+  let e = Engine.create ~scheduler ~network:net () in
+  Engine.set_handler e (fun ~dst:_ ~src:_ _ -> ());
+  for i = 1 to 50 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () ->
+        Engine.send e ~cls:Traffic.Probe ~src:0 ~dst:1 ~bytes:46 i)
+  done;
+  Engine.run_until e 200.;
+  let s = Engine.stats e in
+  check_int "sends" 50 s.Engine.sends;
+  check_int "sends = delivers + drops" 50 (s.Engine.delivers + s.Engine.drops);
+  check_bool "lossy link dropped some" true (s.Engine.drops > 0);
+  check_bool "and delivered some" true (s.Engine.delivers > 0);
+  (* one event per timer + one per delivered message *)
+  check_int "events processed" (50 + s.Engine.delivers) s.Engine.events;
+  check_bool "peak pending sane" true
+    (s.Engine.max_pending >= 1 && s.Engine.max_pending <= 51);
+  check_int "queue drained" 0 (Engine.pending e)
+
+(* The two backends must produce the exact same execution: same delivery
+   times, same payload order, same drop pattern (same RNG draw sequence),
+   same counters. *)
+let test_engine_backends_agree () =
+  let script scheduler =
+    let net =
+      Network.create ~rtt_ms:two_node_rtt ~loss:[| [| 0.; 0.3 |]; [| 0.3; 0. |] |]
+        ~seed:21 ()
+    in
+    let e = Engine.create ~scheduler ~network:net () in
+    let log = ref [] in
+    Engine.set_handler e (fun ~dst ~src msg ->
+        log := (Engine.now e, src, dst, msg) :: !log);
+    for i = 1 to 200 do
+      (* bursts of ties plus a far-future tail, to stress both queues *)
+      let d = if i mod 5 = 0 then 1e4 +. float_of_int i else float_of_int (i mod 13) in
+      Engine.schedule e ~delay:d (fun () ->
+          Engine.send e ~cls:Traffic.Probe ~src:(i mod 2) ~dst:((i + 1) mod 2) ~bytes:46 i)
+    done;
+    Engine.run_until e 2e4;
+    (List.rev !log, Engine.stats e)
+  in
+  let log_cal, stats_cal = script Engine.Calendar in
+  let log_bin, stats_bin = script Engine.Binary_heap in
+  check_bool "identical delivery streams" true (log_cal = log_bin);
+  check_bool "identical counters" true (stats_cal = stats_bin)
 
 (* --- Traffic ------------------------------------------------------------------ *)
 
@@ -203,6 +256,54 @@ let test_traffic_bad_args () =
   Alcotest.check_raises "bad node" (Invalid_argument "Traffic.record: node out of range")
     (fun () -> Traffic.record t Traffic.Probe ~node:5 ~bytes:1 ~now:0.)
 
+(* [bytes_in_range] is half-open [t0, t1) at one-second granularity: the
+   steady-state windows in the benches rely on [t0, t1) + [t1, t2)
+   partitioning the stream with no double counting. *)
+let test_traffic_range_half_open () =
+  let t = Traffic.create ~n:1 in
+  Traffic.record t Traffic.Routing ~node:0 ~bytes:10 ~now:5.0;
+  Traffic.record t Traffic.Routing ~node:0 ~bytes:20 ~now:5.9;
+  Traffic.record t Traffic.Routing ~node:0 ~bytes:40 ~now:6.0;
+  let range t0 t1 = Traffic.bytes_in_range t ~cls:Traffic.Routing ~node:0 ~t0 ~t1 in
+  check_int "empty window t0 = t1" 0 (range 5. 5.);
+  check_int "bucket 5 only" 30 (range 5. 6.);
+  check_int "upper bound excluded" 30 (range 0. 6.);
+  check_int "lower bound included" 40 (range 6. 7.);
+  check_int "adjacent windows partition" (range 0. 6. + range 6. 10.) (range 0. 10.)
+
+let test_traffic_range_fractional_bounds () =
+  let t = Traffic.create ~n:1 in
+  Traffic.record t Traffic.Routing ~node:0 ~bytes:7 ~now:3.4;
+  let range t0 t1 = Traffic.bytes_in_range t ~cls:Traffic.Routing ~node:0 ~t0 ~t1 in
+  (* bounds snap down to whole-second buckets *)
+  check_int "3.9 still sees bucket 3? no - floor 3.9 = 3" 0 (range 3.0 3.9);
+  check_int "fractional lower bound floors into the bucket" 7 (range 3.9 4.0);
+  check_int "covers" 7 (range 3.0 4.1);
+  check_int "same fractional second" 0 (range 3.2 3.7);
+  check_int "negative t0 clamps" 7 (range (-5.) 4.)
+
+let engine_suite scheduler =
+  [
+    Alcotest.test_case "schedule order" `Quick (test_engine_schedule_order scheduler);
+    Alcotest.test_case "send with latency" `Quick
+      (test_engine_send_delivers_with_latency scheduler);
+    Alcotest.test_case "traffic accounting" `Quick
+      (test_engine_send_accounts_traffic scheduler);
+    Alcotest.test_case "drop charges sender only" `Quick
+      (test_engine_dropped_message_charges_sender_only scheduler);
+    Alcotest.test_case "no handler fails" `Quick (test_engine_no_handler_fails scheduler);
+    Alcotest.test_case "step and pending" `Quick (test_engine_step_and_pending scheduler);
+    Alcotest.test_case "deterministic" `Quick (test_engine_determinism scheduler);
+    Alcotest.test_case "negative delay rejected" `Quick
+      (test_engine_negative_delay_rejected scheduler);
+    Alcotest.test_case "schedule_at clamps past" `Quick
+      (test_engine_schedule_at_past_clamps scheduler);
+    Alcotest.test_case "run_until without events" `Quick
+      (test_engine_run_until_no_events scheduler);
+    Alcotest.test_case "nested scheduling" `Quick (test_engine_nested_scheduling scheduler);
+    Alcotest.test_case "profiling counters" `Quick (test_engine_stats scheduler);
+  ]
+
 let () =
   Alcotest.run "apor_sim"
     [
@@ -215,20 +316,10 @@ let () =
           Alcotest.test_case "mutation symmetric" `Quick test_network_mutation;
           Alcotest.test_case "rejects malformed" `Quick test_network_rejects_malformed;
         ] );
-      ( "engine",
-        [
-          Alcotest.test_case "schedule order" `Quick test_engine_schedule_order;
-          Alcotest.test_case "send with latency" `Quick test_engine_send_delivers_with_latency;
-          Alcotest.test_case "traffic accounting" `Quick test_engine_send_accounts_traffic;
-          Alcotest.test_case "drop charges sender only" `Quick test_engine_dropped_message_charges_sender_only;
-          Alcotest.test_case "no handler fails" `Quick test_engine_no_handler_fails;
-          Alcotest.test_case "step and pending" `Quick test_engine_step_and_pending;
-          Alcotest.test_case "deterministic" `Quick test_engine_determinism;
-          Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay_rejected;
-          Alcotest.test_case "schedule_at clamps past" `Quick test_engine_schedule_at_past_clamps;
-          Alcotest.test_case "run_until without events" `Quick test_engine_run_until_no_events;
-          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
-        ] );
+      ( "engine(calendar)",
+        engine_suite Engine.Calendar
+        @ [ Alcotest.test_case "backends agree" `Quick test_engine_backends_agree ] );
+      ("engine(binary-heap)", engine_suite Engine.Binary_heap);
       ( "traffic",
         [
           Alcotest.test_case "kbps" `Quick test_traffic_kbps;
@@ -236,5 +327,7 @@ let () =
           Alcotest.test_case "max window" `Quick test_traffic_max_window;
           Alcotest.test_case "bucket growth" `Quick test_traffic_growth;
           Alcotest.test_case "bad args" `Quick test_traffic_bad_args;
+          Alcotest.test_case "range is half-open" `Quick test_traffic_range_half_open;
+          Alcotest.test_case "range fractional bounds" `Quick test_traffic_range_fractional_bounds;
         ] );
     ]

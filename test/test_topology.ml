@@ -110,7 +110,7 @@ let test_failures_calm_never_fails () =
   let rtt = Array.make_matrix 10 10 50. in
   for i = 0 to 9 do rtt.(i).(i) <- 0. done;
   let net = Network.create ~rtt_ms:rtt ~seed:1 () in
-  let engine : unit Engine.t = Engine.create ~network:net in
+  let engine : unit Engine.t = Engine.create ~network:net () in
   let _ = Failures.install ~engine ~profile:Failures.calm ~seed:1 () in
   Engine.run_until engine 10000.;
   for i = 0 to 9 do
@@ -122,7 +122,7 @@ let test_failures_links_fail_and_recover () =
   let rtt = Array.make_matrix n n 50. in
   for i = 0 to n - 1 do rtt.(i).(i) <- 0. done;
   let net = Network.create ~rtt_ms:rtt ~seed:1 () in
-  let engine : unit Engine.t = Engine.create ~network:net in
+  let engine : unit Engine.t = Engine.create ~network:net () in
   let profile =
     { Failures.mean_time_to_failure_s = 200.; mean_downtime_s = 50.;
       flaky_fraction = 0.; flaky_rate_multiplier = 1. }
@@ -149,7 +149,7 @@ let test_failures_flaky_nodes_worse () =
   let rtt = Array.make_matrix n n 50. in
   for i = 0 to n - 1 do rtt.(i).(i) <- 0. done;
   let net = Network.create ~rtt_ms:rtt ~seed:1 () in
-  let engine : unit Engine.t = Engine.create ~network:net in
+  let engine : unit Engine.t = Engine.create ~network:net () in
   let t = Failures.install ~engine ~profile:Failures.planetlab ~seed:17 () in
   let flaky = Failures.flaky_nodes t in
   check_bool "some flaky nodes" true (flaky <> []);
@@ -174,7 +174,7 @@ let test_failures_respect_node_range () =
   let rtt = Array.make_matrix (n + 1) (n + 1) 50. in
   for i = 0 to n do rtt.(i).(i) <- 0. done;
   let net = Network.create ~rtt_ms:rtt ~seed:1 () in
-  let engine : unit Engine.t = Engine.create ~network:net in
+  let engine : unit Engine.t = Engine.create ~network:net () in
   let profile =
     { Failures.mean_time_to_failure_s = 20.; mean_downtime_s = 1000.;
       flaky_fraction = 0.; flaky_rate_multiplier = 1. }
@@ -190,7 +190,7 @@ let test_scenario_executes_timeline () =
   let rtt = Array.make_matrix 3 3 10. in
   for i = 0 to 2 do rtt.(i).(i) <- 0. done;
   let net = Network.create ~rtt_ms:rtt ~seed:1 () in
-  let engine : unit Engine.t = Engine.create ~network:net in
+  let engine : unit Engine.t = Engine.create ~network:net () in
   Scenario.install ~engine
     [
       (10., Scenario.Link_down (0, 1));
