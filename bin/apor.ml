@@ -1,10 +1,11 @@
 (* apor — all-pairs overlay routing toolbox.
 
    Subcommands:
-     grid     inspect the grid quorum construction for a given overlay size
-     theory   print the closed-form bandwidth model and capacity table
-     emulate  run an overlay emulation and report bandwidth and freshness
-     detour   generate a synthetic internet and report one-hop detour gains *)
+     grid          inspect the grid quorum construction for a given overlay size
+     theory        print the closed-form bandwidth model and capacity table
+     emulate       run an overlay emulation and report bandwidth and freshness
+     detour        generate a synthetic internet and report one-hop detour gains
+     deploy-local  run the protocol over real loopback UDP sockets *)
 
 open Cmdliner
 open Apor_util
@@ -159,6 +160,122 @@ let emulate_cmd =
     (Cmd.info "emulate" ~doc:"Run an overlay emulation and report traffic/freshness")
     Term.(const run_emulate $ n $ algorithm $ duration $ failures $ seed)
 
+(* --- deploy-local ------------------------------------------------------------ *)
+
+(* The same protocol core the simulator runs, over real loopback UDP.
+   Timescales are compressed so a wall-clock run of a few seconds spans
+   many probing and routing cycles; the parameter ratios (timeout vs rapid
+   cadence, staleness windows, failure factors) match the paper's. *)
+let deploy_config =
+  {
+    Config.quorum_default with
+    Config.probe_interval_s = 1.0;
+    probes_for_failure = 3;
+    probe_timeout_s = 0.2;
+    rapid_probe_interval_s = 0.25;
+    routing_interval_s = 0.5;
+    membership_refresh_s = 60.;
+  }
+
+let run_deploy_local n duration quick base_port seed json =
+  let module Udp = Apor_deploy.Udp_runtime in
+  let config = deploy_config in
+  let duration = if quick then Float.min duration 6.0 else duration in
+  let trace = Apor_trace.Collector.create ~capacity:(1 lsl 18) () in
+  let oracle =
+    Apor_trace.Oracle.create ~raise_on_violation:false ~metric:config.Config.metric
+      ~staleness_s:
+        (float_of_int config.Config.staleness_windows *. config.Config.routing_interval_s)
+      ()
+  in
+  Apor_trace.Oracle.attach oracle trace;
+  match Udp.create ~config ~n ~base_port ~trace ~seed () with
+  | exception Unix.Unix_error (err, fn, _) ->
+      (* No usable loopback sockets (sandboxed CI, exhausted ports):
+         report and skip rather than fail the smoke test. *)
+      Format.printf "deploy-local: sockets unavailable (%s in %s); skipping@."
+        (Unix.error_message err) fn;
+      exit 0
+  | udp ->
+      Format.printf
+        "deploy-local: %d nodes on 127.0.0.1:%d-%d, %.0fs wall clock (r = %.1fs)...@."
+        n base_port (base_port + n - 1) duration config.Config.routing_interval_s;
+      Udp.start udp;
+      Udp.run udp ~duration;
+      let covered, total = Udp.coverage udp in
+      Apor_trace.Oracle.check_traffic oracle ~n
+        ~accounted:(fun node -> Udp.accounted_bytes udp node)
+        ~now:(Udp.now udp);
+      let violations = Apor_trace.Oracle.violation_count oracle in
+      let stats = Udp.stats udp in
+      let freshness =
+        List.concat_map
+          (fun src ->
+            List.filter_map
+              (fun dst ->
+                if src = dst then None
+                else
+                  Apor_overlay_core.Node_core.freshness (Udp.node_core udp src)
+                    ~now:(Udp.now udp) ~dst_port:dst)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      Udp.close udp;
+      let fresh_summary = Stats.summarize freshness in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{";
+      Printf.bprintf buf "\"n\": %d, \"duration_s\": %.3f, " n (Udp.now udp);
+      Printf.bprintf buf "\"pairs_covered\": %d, \"pairs_total\": %d, " covered total;
+      Printf.bprintf buf "\"oracle_violations\": %d, " violations;
+      Printf.bprintf buf
+        "\"recommendations_checked\": %d, \"applications_checked\": %d, "
+        (Apor_trace.Oracle.recommendations_checked oracle)
+        (Apor_trace.Oracle.applications_checked oracle);
+      Printf.bprintf buf
+        "\"datagrams_sent\": %d, \"datagrams_received\": %d, \"send_retries\": %d, \"frames_dropped\": %d, "
+        stats.Udp.datagrams_sent stats.Udp.datagrams_received stats.Udp.send_retries
+        stats.Udp.frames_dropped;
+      Printf.bprintf buf "\"trace_events\": %d" (Apor_trace.Collector.total trace);
+      (match fresh_summary with
+      | Some f ->
+          Printf.bprintf buf ", \"freshness_p50_s\": %.3f, \"freshness_max_s\": %.3f"
+            f.Stats.p50 f.Stats.max
+      | None -> ());
+      Buffer.add_string buf "}";
+      let payload = Buffer.contents buf in
+      (match json with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc payload;
+          output_string oc "\n";
+          close_out oc;
+          Format.printf "wrote %s@." path
+      | None -> Format.printf "%s@." payload);
+      Format.printf "coverage: %d/%d pairs; oracle violations: %d@." covered total
+        violations;
+      List.iter
+        (fun v -> Format.printf "  %a@." Apor_trace.Oracle.pp_violation v)
+        (Apor_trace.Oracle.violations oracle);
+      if covered < total || violations > 0 then exit 1
+
+let deploy_local_cmd =
+  let n = Arg.(value & opt int 9 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Overlay size.") in
+  let duration =
+    Arg.(value & opt float 20. & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc:"Wall-clock run time.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Cap the run at 6 s (CI smoke).") in
+  let base_port =
+    Arg.(value & opt int 9000 & info [ "base-port" ] ~docv:"PORT" ~doc:"First UDP port; node i binds PORT+i.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Node RNG seed.") in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the metrics JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "deploy-local"
+       ~doc:"Run the sans-IO protocol core over real loopback UDP sockets")
+    Term.(const run_deploy_local $ n $ duration $ quick $ base_port $ seed $ json)
+
 (* --- detour ------------------------------------------------------------------- *)
 
 let run_detour n seed threshold =
@@ -206,4 +323,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "apor" ~version:"1.0.0"
              ~doc:"Scaling all-pairs overlay routing (CoNEXT 2009) toolbox")
-          [ grid_cmd; theory_cmd; emulate_cmd; detour_cmd ]))
+          [ grid_cmd; theory_cmd; emulate_cmd; detour_cmd; deploy_local_cmd ]))

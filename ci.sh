@@ -18,6 +18,17 @@ dune runtest
 dune exec bench/main.exe -- --only micro --quick --jobs 2 --json /tmp/apor-bench-smoke.json
 rm -f /tmp/apor-bench-smoke.json
 
+# Sim-vs-core golden trace: record one sim-hosted node's inputs/outputs
+# through a churn run and replay them through the bare sans-IO core
+# (test/test_node_core.ml, also part of `dune runtest` above). Run it
+# explicitly so a failure here is unambiguous in CI logs.
+dune exec test/test_node_core.exe -- test core
+
+# Deploy smoke: the same Node_core over real loopback UDP, with the
+# trace oracle attached live. The binary detects socket-less sandboxes
+# itself and exits 0 with a skip notice in that case.
+dune exec bin/apor.exe -- deploy-local --n 9 --quick
+
 # Documentation build (odoc). The libraries are private, so the pages live
 # under @doc-private. Skipped when odoc isn't installed (offline images).
 if command -v odoc >/dev/null 2>&1; then

@@ -1,0 +1,9 @@
+type t = { origin : float; mutable last : float }
+
+let create () = { origin = Unix.gettimeofday (); last = 0. }
+
+let now t =
+  let elapsed = Unix.gettimeofday () -. t.origin in
+  let v = if elapsed > t.last then elapsed else t.last in
+  t.last <- v;
+  v

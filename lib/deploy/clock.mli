@@ -1,0 +1,15 @@
+(** A monotonic run clock for the UDP runtime.
+
+    {!Apor_overlay_core.Node_core} requires [now] never to decrease
+    across calls; [Unix.gettimeofday] can step backwards under NTP
+    adjustment, so reads are clamped to the maximum seen so far.  Time is
+    measured in seconds since {!create} — the same zero-based convention
+    the simulator's virtual clock uses, which keeps trace timestamps and
+    freshness arithmetic directly comparable. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Seconds since [create], non-decreasing. *)

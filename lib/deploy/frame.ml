@@ -1,0 +1,33 @@
+let magic = 0xA9
+
+let header_bytes = 6 (* magic, version, src u16, length u16 *)
+
+let version = 1
+
+let encode ~src_port msg =
+  if src_port < 0 || src_port > 0xFFFF then invalid_arg "Frame.encode: bad src port";
+  let payload = Apor_overlay_core.Message.encode msg in
+  let len = Bytes.length payload in
+  if len > 0xFFFF then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set_uint8 b 0 magic;
+  Bytes.set_uint8 b 1 version;
+  Bytes.set_uint16_be b 2 src_port;
+  Bytes.set_uint16_be b 4 len;
+  Bytes.blit payload 0 b header_bytes len;
+  b
+
+let decode b =
+  let total = Bytes.length b in
+  if total < header_bytes then Error "Frame.decode: short header"
+  else if Bytes.get_uint8 b 0 <> magic then Error "Frame.decode: bad magic"
+  else if Bytes.get_uint8 b 1 <> version then Error "Frame.decode: bad version"
+  else begin
+    let src_port = Bytes.get_uint16_be b 2 in
+    let len = Bytes.get_uint16_be b 4 in
+    if total <> header_bytes + len then Error "Frame.decode: length mismatch"
+    else
+      match Apor_overlay_core.Message.decode (Bytes.sub b header_bytes len) with
+      | Ok msg -> Ok (src_port, msg)
+      | Error e -> Error e
+  end

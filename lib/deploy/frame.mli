@@ -1,0 +1,20 @@
+(** The datagram framing of the UDP runtime.
+
+    One frame per datagram: a 6-byte header — magic byte, codec version,
+    the {e logical} source port (the overlay address, not the UDP port)
+    and an explicit payload length — followed by the
+    {!Apor_overlay_core.Message} binary encoding.  The length field is
+    redundant over UDP (datagram boundaries are preserved) but makes
+    truncated reads and the reuse of this codec over stream transports
+    detectable; a mismatch rejects the frame rather than trusting the
+    socket boundary. *)
+
+val header_bytes : int
+(** 6. *)
+
+val encode : src_port:int -> Apor_overlay_core.Message.t -> bytes
+(** @raise Invalid_argument for an out-of-range source port or a payload
+    over 64 KiB. *)
+
+val decode : bytes -> (int * Apor_overlay_core.Message.t, string) result
+(** [(logical source port, message)]; total over arbitrary input. *)

@@ -1,0 +1,355 @@
+open Apor_util
+module Core = Apor_overlay_core
+module Ev = Apor_trace.Event
+
+(* A binary min-heap of armed timers, FIFO within equal deadlines. *)
+module Timers = struct
+  type entry = { at : float; seq : int; run : unit -> unit }
+
+  type t = { mutable a : entry array; mutable len : int; mutable seq : int }
+
+  let dummy = { at = 0.; seq = 0; run = ignore }
+
+  let create () = { a = Array.make 64 dummy; len = 0; seq = 0 }
+
+  let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+  let add t ~at run =
+    if t.len = Array.length t.a then begin
+      let bigger = Array.make (2 * t.len) dummy in
+      Array.blit t.a 0 bigger 0 t.len;
+      t.a <- bigger
+    end;
+    let e = { at; seq = t.seq; run } in
+    t.seq <- t.seq + 1;
+    let i = ref t.len in
+    t.len <- t.len + 1;
+    t.a.(!i) <- e;
+    while !i > 0 && before t.a.(!i) t.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let next_at t = if t.len = 0 then None else Some t.a.(0).at
+
+  let pop_due t ~now =
+    if t.len = 0 || t.a.(0).at > now then None
+    else begin
+      let top = t.a.(0) in
+      t.len <- t.len - 1;
+      t.a.(0) <- t.a.(t.len);
+      t.a.(t.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.len && before t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.a.(!smallest) in
+          t.a.(!smallest) <- t.a.(!i);
+          t.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top.run
+    end
+end
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable send_retries : int;
+  mutable frames_dropped : int; (* retry budget exhausted or undecodable *)
+}
+
+(* One queued outbound frame with its retry budget. *)
+type pending = { frame : bytes; mutable attempts : int }
+
+type link = {
+  addr : Unix.sockaddr;
+  queue : pending Queue.t;
+  mutable reported_down : bool;
+}
+
+type endpoint = {
+  port : int; (* logical overlay address = index *)
+  fd : Unix.file_descr;
+  mutable rt : Core.Runtime.t option; (* set right after creation; never None in use *)
+  links : link array;
+  covered : bool array; (* dst ports a recommendation has been applied for *)
+  mutable covered_count : int;
+  mutable accounted_bytes : int; (* protocol-level bytes, sent + received *)
+}
+
+type t = {
+  n : int;
+  config : Core.Config.t;
+  base_port : int;
+  clock : Clock.t;
+  timers : Timers.t;
+  endpoints : endpoint array;
+  recv_buf : bytes;
+  stats : stats;
+  trace : Apor_trace.Collector.t option;
+  mutable closed : bool;
+}
+
+let max_attempts = 5
+
+let emit t ev =
+  match t.trace with Some tr -> Apor_trace.Collector.emit tr ev | None -> ()
+
+let udp_port ~base_port i = base_port + i
+
+let try_send t ep link (p : pending) =
+  p.attempts <- p.attempts + 1;
+  match Unix.sendto ep.fd p.frame 0 (Bytes.length p.frame) [] link.addr with
+  | _written ->
+      t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+      `Sent
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ENOBUFS | EINTR), _, _) ->
+      t.stats.send_retries <- t.stats.send_retries + 1;
+      `Retry
+  | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
+      (* Loopback ICMP port-unreachable from an earlier datagram: the peer
+         socket is gone.  Report the link down once and drop the frame. *)
+      `Down
+
+let peer_of_link t link =
+  match link.addr with Unix.ADDR_INET (_, udp) -> udp - t.base_port | _ -> 0
+
+let report_link t ep link ~up =
+  if link.reported_down = up then begin
+    link.reported_down <- not up;
+    let peer = peer_of_link t link in
+    match ep.rt with
+    | Some rt -> Core.Runtime.dispatch rt (Core.Node_core.Link_report { peer; up })
+    | None -> ()
+  end
+
+let flush_link t ep link =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty link.queue) do
+    let p = Queue.peek link.queue in
+    match try_send t ep link p with
+    | `Sent ->
+        ignore (Queue.pop link.queue);
+        (* the peer's socket answers again: withdraw any down verdict *)
+        report_link t ep link ~up:true
+    | `Retry ->
+        if p.attempts >= max_attempts then begin
+          ignore (Queue.pop link.queue);
+          t.stats.frames_dropped <- t.stats.frames_dropped + 1
+        end
+        else continue := false (* keep FIFO order; retry next loop turn *)
+    | `Down ->
+        ignore (Queue.pop link.queue);
+        t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+        report_link t ep link ~up:false
+  done
+
+let pending_sends t =
+  Array.exists (fun ep -> Array.exists (fun l -> not (Queue.is_empty l.queue)) ep.links)
+    t.endpoints
+
+let send_from t ep ~dst_port msg =
+  if dst_port >= 0 && dst_port < t.n then begin
+    (* Mirror the simulator's convention: the sender is charged at send
+       time, the receiver at delivery — the oracle's traffic-conservation
+       check counts trace bytes the same way. *)
+    let bytes = Core.Message.size_bytes msg in
+    ep.accounted_bytes <- ep.accounted_bytes + bytes;
+    emit t (Ev.Send { cls = Core.Message.cls msg; src = ep.port; dst = dst_port; bytes });
+    let link = ep.links.(dst_port) in
+    Queue.push { frame = Frame.encode ~src_port:ep.port msg; attempts = 0 } link.queue;
+    flush_link t ep link
+  end
+
+let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
+  if n < 2 then invalid_arg "Udp_runtime.create: need at least two nodes";
+  if n > 0xFFFF then invalid_arg "Udp_runtime.create: n out of range";
+  let clock = Clock.create () in
+  (match trace with
+  | Some tr -> Apor_trace.Collector.set_clock tr (fun () -> Clock.now clock)
+  | None -> ());
+  let loopback = Unix.inet_addr_loopback in
+  let fds = ref [] in
+  let cleanup () = List.iter (fun fd -> try Unix.close fd with _ -> ()) !fds in
+  let make_socket i =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    fds := fd :: !fds;
+    (try
+       Unix.set_nonblock fd;
+       Unix.bind fd (Unix.ADDR_INET (loopback, udp_port ~base_port i))
+     with e ->
+       cleanup ();
+       raise e);
+    fd
+  in
+  let sockets = Array.init n make_socket in
+  let endpoints =
+    Array.init n (fun i ->
+        {
+          port = i;
+          fd = sockets.(i);
+          rt = None;
+          links =
+            Array.init n (fun j ->
+                {
+                  addr = Unix.ADDR_INET (loopback, udp_port ~base_port j);
+                  queue = Queue.create ();
+                  reported_down = false;
+                });
+          covered = Array.make n false;
+          covered_count = 0;
+          accounted_bytes = 0;
+        })
+  in
+  let timers = Timers.create () in
+  let t =
+    {
+      n;
+      config;
+      base_port;
+      clock;
+      timers;
+      endpoints;
+      recv_buf = Bytes.create 65536;
+      stats =
+        { datagrams_sent = 0; datagrams_received = 0; send_retries = 0; frames_dropped = 0 };
+      trace;
+      closed = false;
+    }
+  in
+  let root = Rng.make ~seed in
+  Array.iter
+    (fun ep ->
+      let core =
+        Core.Node_core.create ~config ~port:ep.port ~capacity:n
+          ~trace:(Option.is_some trace)
+          ~rng:(Rng.split root (Printf.sprintf "node.%d" ep.port))
+          ()
+      in
+      let rt =
+        Core.Runtime.create ~core
+          ~now:(fun () -> Clock.now clock)
+          ~send:(fun ~dst_port msg -> send_from t ep ~dst_port msg)
+          ~schedule:(fun ~delay f -> Timers.add timers ~at:(Clock.now clock +. delay) f)
+          ~on_recommend:(fun ~server_port:_ ~dst_port ~hop_port:_ ->
+            if dst_port >= 0 && dst_port < n && not ep.covered.(dst_port) then begin
+              ep.covered.(dst_port) <- true;
+              ep.covered_count <- ep.covered_count + 1
+            end)
+          ?trace:(Option.map (fun tr ev -> Apor_trace.Collector.emit tr ev) trace)
+          ()
+      in
+      ep.rt <- Some rt)
+    t.endpoints;
+  t
+
+let now t = Clock.now t.clock
+
+let start t =
+  let members = List.init t.n Fun.id in
+  let view = Core.View.create ~version:1 ~members in
+  Array.iter
+    (fun ep ->
+      match ep.rt with
+      | Some rt ->
+          Core.Runtime.dispatch rt Core.Node_core.Start;
+          Core.Runtime.dispatch rt (Core.Node_core.Install_view view)
+      | None -> ())
+    t.endpoints
+
+let fire_due_timers t =
+  let continue = ref true in
+  while !continue do
+    match Timers.pop_due t.timers ~now:(Clock.now t.clock) with
+    | Some run -> run ()
+    | None -> continue := false
+  done
+
+let receive_ready t ready =
+  List.iter
+    (fun fd ->
+      match Array.find_opt (fun ep -> ep.fd == fd) t.endpoints with
+      | None -> ()
+      | Some ep ->
+          let continue = ref true in
+          while !continue do
+            match Unix.recvfrom fd t.recv_buf 0 (Bytes.length t.recv_buf) [] with
+            | len, _from -> (
+                t.stats.datagrams_received <- t.stats.datagrams_received + 1;
+                match Frame.decode (Bytes.sub t.recv_buf 0 len) with
+                | Ok (src_port, msg) -> (
+                    let bytes = Core.Message.size_bytes msg in
+                    ep.accounted_bytes <- ep.accounted_bytes + bytes;
+                    emit t
+                      (Ev.Deliver
+                         { cls = Core.Message.cls msg; src = src_port; dst = ep.port; bytes });
+                    match ep.rt with
+                    | Some rt ->
+                        Core.Runtime.dispatch rt
+                          (Core.Node_core.Deliver { src_port; msg })
+                    | None -> ())
+                | Error _ -> t.stats.frames_dropped <- t.stats.frames_dropped + 1)
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+                continue := false
+            | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
+                (* async error from an earlier send on this socket *)
+                ()
+          done)
+    ready
+
+let run t ~duration =
+  if t.closed then invalid_arg "Udp_runtime.run: closed";
+  let fds = Array.to_list (Array.map (fun ep -> ep.fd) t.endpoints) in
+  let deadline = Clock.now t.clock +. duration in
+  let continue = ref true in
+  while !continue do
+    fire_due_timers t;
+    Array.iter (fun ep -> Array.iter (fun l -> flush_link t ep l) ep.links) t.endpoints;
+    let now = Clock.now t.clock in
+    if now >= deadline then continue := false
+    else begin
+      let until_deadline = deadline -. now in
+      let until_timer =
+        match Timers.next_at t.timers with
+        | Some at -> Float.max 0. (at -. now)
+        | None -> until_deadline
+      in
+      let cap = if pending_sends t then 0.01 else 0.25 in
+      let timeout = Float.min cap (Float.min until_deadline until_timer) in
+      match Unix.select fds [] [] timeout with
+      | ready, _, _ -> receive_ready t ready
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    end
+  done
+
+let node_core t i =
+  if i < 0 || i >= t.n then invalid_arg "Udp_runtime.node_core: out of range";
+  match t.endpoints.(i).rt with
+  | Some rt -> Core.Runtime.core rt
+  | None -> assert false
+
+let coverage t =
+  let covered = Array.fold_left (fun acc ep -> acc + ep.covered_count) 0 t.endpoints in
+  (covered, t.n * (t.n - 1))
+
+let accounted_bytes t i =
+  if i < 0 || i >= t.n then invalid_arg "Udp_runtime.accounted_bytes: out of range";
+  t.endpoints.(i).accounted_bytes
+
+let stats t = t.stats
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter (fun ep -> try Unix.close ep.fd with Unix.Unix_error _ -> ()) t.endpoints
+  end

@@ -1,0 +1,73 @@
+(** The real-transport runtime: N {!Apor_overlay_core.Node_core} machines
+    in one process, each bound to its own loopback UDP socket, driven by a
+    select loop, a timer heap and the monotonic {!Clock}.
+
+    This is the deployment counterpart of {!Apor_overlay.Sim_runtime}:
+    the protocol code is byte-for-byte the same state machine — only the
+    interpretation of its outputs changes.  Logical overlay port [i] maps
+    to UDP port [base_port + i] on 127.0.0.1; frames carry the logical
+    source port ({!Frame}), so overlay addressing is independent of the
+    transport's.
+
+    Outbound frames go through a per-peer FIFO send queue: a send that
+    the kernel refuses transiently ([EAGAIN]/[ENOBUFS]) stays queued and
+    is retried each loop turn, up to a bounded number of attempts;
+    [ECONNREFUSED] (the peer's socket is gone) drops the frame and feeds
+    a [Link_report] down verdict into the core, withdrawn on the next
+    successful send.
+
+    Membership is static: {!start} dispatches [Start] and installs the
+    full view on every node, the steady-state configuration of the
+    paper's measurements. *)
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable send_retries : int;
+  mutable frames_dropped : int; (* retry budget exhausted or undecodable *)
+}
+
+type t
+
+val create :
+  config:Apor_overlay_core.Config.t ->
+  n:int ->
+  ?base_port:int ->
+  ?trace:Apor_trace.Collector.t ->
+  seed:int ->
+  unit ->
+  t
+(** Binds [n] nonblocking UDP sockets on [base_port ..] (default 9000)
+    and builds the node cores (deterministic per [seed], same RNG
+    splitting as the simulator's cluster).  A [trace] collector is
+    pointed at the runtime's clock and receives transport Send/Deliver
+    events plus every node's protocol events — the same stream shape the
+    simulator produces, so {!Apor_trace.Oracle} and [Trace_report] work
+    unchanged.  @raise Unix.Unix_error when sockets are unavailable (all
+    already-bound sockets are closed first). *)
+
+val start : t -> unit
+
+val run : t -> duration:float -> unit
+(** Drive the select loop for [duration] wall-clock seconds: fire due
+    timers, flush send queues, deliver received frames. *)
+
+val now : t -> float
+(** Seconds since [create] on the runtime's clock. *)
+
+val node_core : t -> int -> Apor_overlay_core.Node_core.t
+(** The [i]-th node's state machine, for queries. *)
+
+val coverage : t -> int * int
+(** [(covered, total)] ordered pairs [(i, j)], [i <> j], for which node
+    [i] has received and applied a rendezvous recommendation toward
+    [j]. *)
+
+val accounted_bytes : t -> int -> int
+(** Protocol-level bytes (in + out, {!Apor_overlay_core.Message.size_bytes})
+    charged to node [i] — the transport side of the oracle's traffic
+    conservation check. *)
+
+val stats : t -> stats
+
+val close : t -> unit

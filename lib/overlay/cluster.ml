@@ -67,40 +67,60 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ?scheduler ~seed 
       ~bytes:(Message.size_bytes msg) msg
   in
   let deliveries = Hashtbl.create 256 in
-  let nodes =
-    Array.init n (fun port ->
-        Node.create ~config ~port ~capacity:(n + extra) ?coordinator_port
-          ?trace:node_trace
-          ~rng:(Rng.split root (Printf.sprintf "node.%d" port))
-          {
-            Node.now = (fun () -> Engine.now engine);
-            send = (fun ~dst_port msg -> send_from port ~dst_port msg);
-            schedule = (fun ~delay f -> Engine.schedule engine ~delay f);
-            deliver_data =
-              (fun ~id ~origin:_ ->
-                if not (Hashtbl.mem deliveries id) then
-                  Hashtbl.replace deliveries id (Engine.now engine));
-          })
-  in
-  let coordinator =
-    if with_coordinator then
-      Some
-        (Coordinator.create ~self_port:n
-           ~member_timeout_s:config.Config.membership_refresh_s
-           {
-             Coordinator.now = (fun () -> Engine.now engine);
-             send = (fun ~dst_port msg -> send_from n ~dst_port msg);
-             schedule = (fun ~delay f -> Engine.schedule engine ~delay f);
-           })
-    else None
-  in
+  (* Install the dispatch handler before anything can schedule or send —
+     a node's very first output may be a message due at t = 0, and the
+     engine raises on a delivery with no handler installed.  The tables it
+     reads are populated below, before [create] returns. *)
+  let runtimes : Runtime.t option array = Array.make n None in
+  let coordinator_cell = ref None in
   Engine.set_handler engine (fun ~dst ~src msg ->
-      if dst < n then Node.handle_message nodes.(dst) ~src_port:src msg
+      if dst < n then begin
+        match runtimes.(dst) with
+        | Some rt -> Runtime.dispatch rt (Node_core.Deliver { src_port = src; msg })
+        | None -> ()
+      end
       else begin
-        match coordinator with
-        | Some c -> Coordinator.handle_message c ~src_port:src msg
+        match !coordinator_cell with
+        | Some c ->
+            Coordinator.handle_message c ~now:(Engine.now engine) ~src_port:src msg
         | None -> ()
       end);
+  let nodes =
+    Array.init n (fun port ->
+        let core =
+          Node_core.create ~config ~port ~capacity:(n + extra) ?coordinator_port
+            ~trace:(Option.is_some node_trace)
+            ~rng:(Rng.split root (Printf.sprintf "node.%d" port))
+            ()
+        in
+        let rt =
+          Sim_runtime.create ~engine ~core
+            ~deliver_data:(fun ~id ~origin:_ ->
+              if not (Hashtbl.mem deliveries id) then
+                Hashtbl.replace deliveries id (Engine.now engine))
+            ?trace:node_trace ()
+        in
+        runtimes.(port) <- Some rt;
+        Node.of_runtime ~now:(fun () -> Engine.now engine) rt)
+  in
+  let coordinator =
+    if with_coordinator then begin
+      let sweep_cell = ref (fun () -> ()) in
+      let c =
+        Coordinator.create ~self_port:n
+          ~member_timeout_s:config.Config.membership_refresh_s
+          {
+            Coordinator.send = (fun ~dst_port msg -> send_from n ~dst_port msg);
+            set_sweep_timer =
+              (fun ~delay -> Engine.schedule engine ~delay (fun () -> !sweep_cell ()));
+          }
+      in
+      (sweep_cell := fun () -> Coordinator.on_sweep_timer c ~now:(Engine.now engine));
+      coordinator_cell := Some c;
+      Some c
+    end
+    else None
+  in
   { config; n; engine; nodes; coordinator; coordinator_port; next_data_id = 0; deliveries }
 
 let n t = t.n

@@ -1,81 +1,3 @@
-type callbacks = {
-  now : unit -> float;
-  send : dst_port:int -> Message.t -> unit;
-  schedule : delay:float -> (unit -> unit) -> unit;
-}
-
-type t = {
-  self_port : int;
-  member_timeout_s : float;
-  cb : callbacks;
-  leases : (int, float) Hashtbl.t; (* port -> last refresh *)
-  mutable version : int;
-  mutable sweeping : bool;
-}
-
-let create ~self_port ?(member_timeout_s = 1800.) cb =
-  {
-    self_port;
-    member_timeout_s;
-    cb;
-    leases = Hashtbl.create 64;
-    version = 0;
-    sweeping = false;
-  }
-
-let members t =
-  Hashtbl.fold (fun port _ acc -> port :: acc) t.leases [] |> List.sort Int.compare
-
-let version t = t.version
-
-let broadcast t =
-  t.version <- t.version + 1;
-  let member_list = members t in
-  List.iter
-    (fun port ->
-      t.cb.send ~dst_port:port
-        (Message.View { version = t.version; members = member_list }))
-    member_list
-
-let handle_message t ~src_port msg =
-  match (msg : Message.t) with
-  | Message.Join { port } when port = src_port ->
-      let known = Hashtbl.mem t.leases port in
-      Hashtbl.replace t.leases port (t.cb.now ());
-      if known then
-        (* Lease refresh: answer with the current view so a restarted node
-           resynchronizes, but don't disturb the others. *)
-        t.cb.send ~dst_port:port
-          (Message.View { version = t.version; members = members t })
-      else broadcast t
-  | Message.Leave { port } when port = src_port ->
-      if Hashtbl.mem t.leases port then begin
-        Hashtbl.remove t.leases port;
-        broadcast t
-      end
-  | Message.Join _ | Message.Leave _
-  | Message.Probe _ | Message.Probe_reply _ | Message.Link_state _
-  | Message.Link_state_delta _ | Message.Ls_resync _
-  | Message.Recommend _ | Message.View _ | Message.Data _ | Message.Relay _ ->
-      ()
-
-let rec sweep t () =
-  if t.sweeping then begin
-    let now = t.cb.now () in
-    let expired =
-      Hashtbl.fold
-        (fun port last acc -> if now -. last > t.member_timeout_s then port :: acc else acc)
-        t.leases []
-    in
-    if expired <> [] then begin
-      List.iter (Hashtbl.remove t.leases) expired;
-      broadcast t
-    end;
-    t.cb.schedule ~delay:(t.member_timeout_s /. 4.) (sweep t)
-  end
-
-let start_expiry t =
-  if not t.sweeping then begin
-    t.sweeping <- true;
-    t.cb.schedule ~delay:(t.member_timeout_s /. 4.) (sweep t)
-  end
+(* Re-export of the sans-IO protocol core, so existing consumers keep
+   addressing these modules as [Apor_overlay.Coordinator]. *)
+include Apor_overlay_core.Coordinator

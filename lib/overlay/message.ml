@@ -1,61 +1,3 @@
-open Apor_util
-open Apor_linkstate
-open Apor_sim
-
-type t =
-  | Probe of { seq : int }
-  | Probe_reply of { seq : int }
-  | Link_state of { view : int; epoch : int; snapshot : Snapshot.t }
-  | Link_state_delta of { view : int; delta : Wire.Delta.t }
-  | Ls_resync of { view : int; owner : Nodeid.t }
-  | Recommend of { view : int; entries : (Nodeid.t * Nodeid.t) list }
-  | Join of { port : int }
-  | Leave of { port : int }
-  | View of { version : int; members : Nodeid.t list }
-  | Data of { id : int; origin : Nodeid.t; dst : Nodeid.t; ttl : int }
-  | Relay of { origin : Nodeid.t; target : Nodeid.t; inner : t }
-
-let data_payload_bytes = 64
-
-let rec size_bytes = function
-  | Probe _ | Probe_reply _ -> Overhead.probe_bytes
-  | Link_state { snapshot; _ } -> Overhead.header_bytes + Snapshot.payload_bytes snapshot
-  | Link_state_delta { delta; _ } ->
-      Overhead.link_state_delta_bytes ~changes:(List.length delta.Wire.Delta.changes)
-  | Ls_resync _ -> Overhead.resync_request_bytes
-  | Recommend { entries; _ } ->
-      Overhead.recommendation_message_bytes ~entries:(List.length entries)
-  | Join _ | Leave _ -> Overhead.membership_request_bytes
-  | View { members; _ } -> Overhead.membership_view_bytes ~n:(List.length members)
-  | Data _ -> Overhead.header_bytes + data_payload_bytes
-  | Relay { inner; _ } -> Overhead.header_bytes + size_bytes inner
-
-let rec cls = function
-  | Probe _ | Probe_reply _ -> Traffic.Probe
-  | Link_state _ | Link_state_delta _ | Ls_resync _ | Recommend _ -> Traffic.Routing
-  | Join _ | Leave _ | View _ -> Traffic.Membership
-  | Data _ -> Traffic.Data
-  | Relay { inner; _ } -> cls inner
-
-let rec pp ppf = function
-  | Probe { seq } -> Format.fprintf ppf "probe#%d" seq
-  | Probe_reply { seq } -> Format.fprintf ppf "probe-reply#%d" seq
-  | Link_state { view; epoch; snapshot } ->
-      Format.fprintf ppf "link-state(view=%d, owner=%d, epoch=%d)" view
-        (Snapshot.owner snapshot) epoch
-  | Link_state_delta { view; delta } ->
-      Format.fprintf ppf "link-state-delta(view=%d, owner=%d, epoch=%d, %d changes)" view
-        delta.Wire.Delta.owner delta.Wire.Delta.epoch
-        (List.length delta.Wire.Delta.changes)
-  | Ls_resync { view; owner } ->
-      Format.fprintf ppf "ls-resync(view=%d, owner=%d)" view owner
-  | Recommend { view; entries } ->
-      Format.fprintf ppf "recommend(view=%d, %d entries)" view (List.length entries)
-  | Join { port } -> Format.fprintf ppf "join(%d)" port
-  | Leave { port } -> Format.fprintf ppf "leave(%d)" port
-  | View { version; members } ->
-      Format.fprintf ppf "view(v%d, %d members)" version (List.length members)
-  | Data { id; origin; dst; ttl } ->
-      Format.fprintf ppf "data#%d(%d->%d, ttl=%d)" id origin dst ttl
-  | Relay { origin; target; inner } ->
-      Format.fprintf ppf "relay(%d=>%d, %a)" origin target pp inner
+(* Re-export of the sans-IO protocol core, so existing consumers keep
+   addressing these modules as [Apor_overlay.Message]. *)
+include Apor_overlay_core.Message

@@ -1,170 +1,3 @@
-open Apor_util
-open Apor_linkstate
-
-type callbacks = {
-  now : unit -> float;
-  send_probe : dst:int -> seq:int -> unit;
-  schedule : delay:float -> (unit -> unit) -> unit;
-  on_peer_death : int -> unit;
-  on_peer_recovery : int -> unit;
-}
-
-type peer = {
-  mutable active : bool;            (* currently in the probed set *)
-  mutable ewma : Ewma.t;
-  mutable loss_ewma : Ewma.t;
-  mutable alive : bool;
-  mutable measured : bool;          (* at least one reply ever *)
-  mutable consecutive_losses : int;
-  mutable next_seq : int;
-  mutable outstanding : (int * float) option; (* seq, sent at *)
-  mutable loop_generation : int;    (* invalidates stale probe loops *)
-}
-
-type t = {
-  config : Config.t;
-  self : int;
-  peers : peer array;
-  rng : Rng.t;
-  cb : callbacks;
-}
-
-let fresh_peer config =
-  {
-    active = false;
-    ewma = Ewma.create ~alpha:config.Config.ewma_alpha;
-    loss_ewma = Ewma.create ~alpha:config.Config.ewma_alpha;
-    alive = true;
-    measured = false;
-    consecutive_losses = 0;
-    next_seq = 0;
-    outstanding = None;
-    loop_generation = 0;
-  }
-
-let create ~config ~self ~capacity ~rng cb =
-  if capacity < 1 then invalid_arg "Monitor.create: capacity must be positive";
-  { config; self; peers = Array.init capacity (fun _ -> fresh_peer config); rng; cb }
-
-let check t port =
-  if port < 0 || port >= Array.length t.peers || port = t.self then
-    invalid_arg "Monitor: bad peer port"
-
-(* One self-rescheduling probe loop per active peer.  The loop generation
-   counter kills loops of deactivated peers and prevents double loops. *)
-let rec probe_loop t port generation () =
-  let p = t.peers.(port) in
-  if p.active && p.loop_generation = generation then begin
-    let seq = p.next_seq in
-    p.next_seq <- seq + 1;
-    p.outstanding <- Some (seq, t.cb.now ());
-    t.cb.send_probe ~dst:port ~seq;
-    t.cb.schedule ~delay:t.config.probe_timeout_s (fun () ->
-        timeout t port generation seq);
-    let next =
-      if p.consecutive_losses >= 1 && p.consecutive_losses < t.config.probes_for_failure
-      then t.config.rapid_probe_interval_s
-      else t.config.probe_interval_s
-    in
-    t.cb.schedule ~delay:next (probe_loop t port generation)
-  end
-
-and timeout t port generation seq =
-  let p = t.peers.(port) in
-  if p.active && p.loop_generation = generation then begin
-    match p.outstanding with
-    | Some (s, _) when s = seq ->
-        p.outstanding <- None;
-        p.consecutive_losses <- p.consecutive_losses + 1;
-        p.loss_ewma <- Ewma.update p.loss_ewma 1.;
-        if p.alive && p.consecutive_losses >= t.config.probes_for_failure then begin
-          p.alive <- false;
-          t.cb.on_peer_death port
-        end
-        (* Rapid failure detection: on the first loss, abandon the normal
-           cadence and start re-probing immediately at the rapid interval,
-           so the remaining probes-for-failure losses fit within roughly
-           one probing period. *)
-        else if p.alive && p.consecutive_losses = 1 then begin
-          p.loop_generation <- p.loop_generation + 1;
-          probe_loop t port p.loop_generation ()
-        end
-    | Some _ | None -> ()
-  end
-
-let activate t port =
-  let p = t.peers.(port) in
-  if not p.active then begin
-    p.active <- true;
-    p.loop_generation <- p.loop_generation + 1;
-    p.consecutive_losses <- 0;
-    let phase = Rng.float t.rng t.config.probe_interval_s in
-    t.cb.schedule ~delay:phase (probe_loop t port p.loop_generation)
-  end
-
-let deactivate t port =
-  let p = t.peers.(port) in
-  if p.active then begin
-    p.active <- false;
-    p.loop_generation <- p.loop_generation + 1;
-    p.outstanding <- None
-  end
-
-let set_peers t ports =
-  List.iter (fun port -> check t port) ports;
-  let wanted = Array.make (Array.length t.peers) false in
-  List.iter (fun port -> wanted.(port) <- true) ports;
-  Array.iteri
-    (fun port p ->
-      if port <> t.self then
-        if wanted.(port) && not p.active then activate t port
-        else if (not wanted.(port)) && p.active then deactivate t port)
-    t.peers
-
-let peers t =
-  let acc = ref [] in
-  Array.iteri (fun port p -> if p.active then acc := port :: !acc) t.peers;
-  List.rev !acc
-
-let handle_reply t ~src ~seq =
-  check t src;
-  let p = t.peers.(src) in
-  match p.outstanding with
-  | Some (s, sent_at) when s = seq ->
-      p.outstanding <- None;
-      let rtt_ms = (t.cb.now () -. sent_at) *. 1000. in
-      p.ewma <- Ewma.update p.ewma rtt_ms;
-      p.loss_ewma <- Ewma.update p.loss_ewma 0.;
-      p.measured <- true;
-      p.consecutive_losses <- 0;
-      if not p.alive then begin
-        p.alive <- true;
-        t.cb.on_peer_recovery src
-      end
-  | Some _ | None -> ()
-
-let alive t port =
-  check t port;
-  t.peers.(port).alive
-
-let latency_ms t port =
-  check t port;
-  Ewma.value t.peers.(port).ewma
-
-let loss t port =
-  check t port;
-  Option.value (Ewma.value t.peers.(port).loss_ewma) ~default:0.
-
-let entry_for t port =
-  check t port;
-  let p = t.peers.(port) in
-  if (not p.alive) || not p.measured then Entry.unreachable
-  else
-    Entry.make ~latency_ms:(Ewma.value_exn p.ewma)
-      ~loss:(Float.max 0. (Float.min 1. (Option.value (Ewma.value p.loss_ewma) ~default:0.)))
-      ~alive:true
-
-let concurrent_failures t =
-  let count = ref 0 in
-  Array.iter (fun p -> if p.active && p.measured && not p.alive then incr count) t.peers;
-  !count
+(* Re-export of the sans-IO protocol core, so existing consumers keep
+   addressing these modules as [Apor_overlay.Monitor]. *)
+include Apor_overlay_core.Monitor

@@ -1,5 +1,3 @@
-open Apor_util
-
 type callbacks = {
   now : unit -> float;
   send : dst_port:int -> Message.t -> unit;
@@ -8,188 +6,42 @@ type callbacks = {
       (** an application packet addressed to this node arrived *)
 }
 
-type router = Quorum of Router.t | Full_mesh of Router_fullmesh.t
+type t = { rt : Runtime.t; now : unit -> float }
 
-type t = {
-  config : Config.t;
-  port : int;
-  coordinator_port : int option;
-  cb : callbacks;
-  monitor : Monitor.t;
-  router : router;
-  mutable view : View.t option;
-  mutable started : bool;
-  mutable joined : bool;
-}
+let of_runtime ~now rt = { rt; now }
 
-let create ~config ~port ~capacity ?coordinator_port ?trace ~rng cb =
-  (match Config.validate config with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Node.create: " ^ msg));
-  (* The router is created first as a forward reference so the monitor's
-     death/recovery callbacks can reach it. *)
-  let router_ref = ref None in
-  let monitor =
-    Monitor.create ~config ~self:port ~capacity ~rng:(Rng.split rng "monitor")
-      {
-        Monitor.now = cb.now;
-        send_probe = (fun ~dst ~seq -> cb.send ~dst_port:dst (Message.Probe { seq }));
-        schedule = (fun ~delay f -> cb.schedule ~delay f);
-        on_peer_death =
-          (fun peer ->
-            match !router_ref with
-            | Some (Quorum r) -> Router.on_peer_death r ~port:peer
-            | Some (Full_mesh _) | None -> ());
-        on_peer_recovery =
-          (fun peer ->
-            match !router_ref with
-            | Some (Quorum r) -> Router.on_peer_recovery r ~port:peer
-            | Some (Full_mesh _) | None -> ());
-      }
+let create ~config ~port ~capacity ?coordinator_port ?trace ~rng (cb : callbacks) =
+  let core =
+    Node_core.create ~config ~port ~capacity ?coordinator_port
+      ~trace:(Option.is_some trace) ~rng ()
   in
-  let router =
-    match config.algorithm with
-    | Config.Quorum ->
-        Quorum
-          (Router.create ~config ~self_port:port ~rng:(Rng.split rng "router") ~monitor
-             ?trace
-             {
-               Router.now = cb.now;
-               send = (fun ~dst_port msg -> cb.send ~dst_port msg);
-               schedule = (fun ~delay f -> cb.schedule ~delay f);
-             })
-    | Config.Full_mesh ->
-        Full_mesh
-          (Router_fullmesh.create ~config ~self_port:port ~rng:(Rng.split rng "router")
-             ~monitor
-             {
-               Router_fullmesh.now = cb.now;
-               send = (fun ~dst_port msg -> cb.send ~dst_port msg);
-               schedule = (fun ~delay f -> cb.schedule ~delay f);
-             })
+  let rt =
+    Runtime.create ~core ~now:cb.now
+      ~send:(fun ~dst_port msg -> cb.send ~dst_port msg)
+      ~schedule:(fun ~delay f -> cb.schedule ~delay f)
+      ~deliver_data:(fun ~id ~origin -> cb.deliver_data ~id ~origin)
+      ?trace ()
   in
-  router_ref := Some router;
-  {
-    config;
-    port;
-    coordinator_port;
-    cb;
-    monitor;
-    router;
-    view = None;
-    started = false;
-    joined = false;
-  }
+  { rt; now = cb.now }
 
-let port t = t.port
+let core t = Runtime.core t.rt
+let runtime t = t.rt
+let port t = Node_core.port (core t)
+let start t = Runtime.dispatch t.rt Node_core.Start
+let leave t = Runtime.dispatch t.rt Node_core.Leave
+let install_view t v = Runtime.dispatch t.rt (Node_core.Install_view v)
 
-let install_view t v =
-  let fresh =
-    match t.view with
-    | Some old -> View.version old < View.version v
-    | None -> true
-  in
-  if fresh then begin
-    t.view <- Some v;
-    let peers =
-      Array.to_list (View.members v) |> List.filter (fun p -> p <> t.port)
-    in
-    Monitor.set_peers t.monitor peers;
-    match t.router with
-    | Quorum r -> Router.set_view r v
-    | Full_mesh r -> Router_fullmesh.set_view r v
-  end
-
-let rec join_loop t () =
-  match t.coordinator_port with
-  | None -> ()
-  | Some coordinator ->
-      if t.started then begin
-        t.cb.send ~dst_port:coordinator (Message.Join { port = t.port });
-        (* Retry quickly until the first view lands, then settle into the
-           lease-refresh cadence. *)
-        let delay =
-          if t.joined then t.config.membership_refresh_s /. 2. else 5.
-        in
-        t.cb.schedule ~delay (join_loop t)
-      end
-
-let start t =
-  if not t.started then begin
-    t.started <- true;
-    (match t.router with
-    | Quorum r -> Router.start r
-    | Full_mesh r -> Router_fullmesh.start r);
-    join_loop t ()
-  end
-
-let leave t =
-  match t.coordinator_port with
-  | None -> ()
-  | Some coordinator ->
-      t.started <- false;
-      t.cb.send ~dst_port:coordinator (Message.Leave { port = t.port })
-
-let best_hop t ~dst_port =
-  match t.router with
-  | Quorum r -> Router.best_hop_port r ~dst_port
-  | Full_mesh r -> Router_fullmesh.best_hop_port r ~dst_port
-
-let rec handle_message t ~src_port msg =
-  match (msg : Message.t) with
-  | Message.Probe { seq } ->
-      t.cb.send ~dst_port:src_port (Message.Probe_reply { seq })
-  | Message.Probe_reply { seq } -> Monitor.handle_reply t.monitor ~src:src_port ~seq
-  | Message.View { version; members } ->
-      t.joined <- true;
-      install_view t (View.create ~version ~members)
-  | Message.Link_state _ | Message.Link_state_delta _ | Message.Ls_resync _
-  | Message.Recommend _ -> (
-      match t.router with
-      | Quorum r -> Router.handle_message r ~src_port msg
-      | Full_mesh r -> Router_fullmesh.handle_message r ~src_port msg)
-  | Message.Join _ | Message.Leave _ -> () (* we are not the coordinator *)
-  | Message.Data { id; origin; dst; ttl } ->
-      if dst = t.port then t.cb.deliver_data ~id ~origin
-      else if ttl > 0 then begin
-        (* forward along the current best hop; dead ends drop the packet,
-           like any best-effort network *)
-        match best_hop t ~dst_port:dst with
-        | Some hop when hop <> t.port ->
-            t.cb.send ~dst_port:hop (Message.Data { id; origin; dst; ttl = ttl - 1 })
-        | Some _ | None -> ()
-      end
-  | Message.Relay { origin; target; inner } ->
-      if target = t.port then
-        (* unwrap: process as if it had arrived from the originator *)
-        handle_message t ~src_port:origin inner
-      else if origin = src_port then
-        (* we are the temporary one-hop: forward directly, exactly once *)
-        t.cb.send ~dst_port:target msg
-
-let default_ttl = 8
+let handle_message t ~src_port msg =
+  Runtime.dispatch t.rt (Node_core.Deliver { src_port; msg })
 
 let send_data t ~dst_port ~id =
-  if dst_port = t.port then t.cb.deliver_data ~id ~origin:t.port
-  else begin
-    match best_hop t ~dst_port with
-    | Some hop ->
-        t.cb.send ~dst_port:hop
-          (Message.Data { id; origin = t.port; dst = dst_port; ttl = default_ttl })
-    | None -> ()
-  end
+  Runtime.dispatch t.rt (Node_core.Send_data { dst_port; id })
 
-let current_view t = t.view
-let monitor t = t.monitor
-
-let quorum_router t = match t.router with Quorum r -> Some r | Full_mesh _ -> None
-
-let freshness t ~dst_port =
-  match t.router with
-  | Quorum r -> Router.freshness r ~dst_port
-  | Full_mesh r -> Router_fullmesh.freshness r ~dst_port
+let current_view t = Node_core.current_view (core t)
+let monitor t = Node_core.monitor (core t)
+let quorum_router t = Node_core.quorum_router (core t)
+let best_hop t ~dst_port = Node_core.best_hop (core t) ~now:(t.now ()) ~dst_port
+let freshness t ~dst_port = Node_core.freshness (core t) ~now:(t.now ()) ~dst_port
 
 let double_rendezvous_failure_count t =
-  match t.router with
-  | Quorum r -> Router.double_rendezvous_failure_count r
-  | Full_mesh _ -> 0
+  Node_core.double_rendezvous_failure_count (core t) ~now:(t.now ())

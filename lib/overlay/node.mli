@@ -1,9 +1,12 @@
-(** One overlay node: link monitor + router + membership client.
+(** One overlay node: the sans-IO {!Node_core} plus a {!Runtime} driving
+    it, behind the node-object API the benches and tests use.
 
-    The node is transport-agnostic — it talks to the world through three
-    callbacks (clock, send, timer) that the {!Cluster} wires to the
-    simulator.  Port numbers are its addresses; rank-space bookkeeping is
-    internal to the router. *)
+    This is a convenience wrapper — the state machine itself lives in
+    {!Node_core} and performs no IO.  [create] builds a core and a
+    runtime from three transport callbacks (clock, send, timer);
+    {!Cluster} instead builds the runtime with {!Sim_runtime.create} and
+    wraps it via {!of_runtime}.  Port numbers are the node's addresses;
+    rank-space bookkeeping is internal to the router. *)
 
 type callbacks = {
   now : unit -> float;
@@ -29,6 +32,14 @@ val create :
     the node waits for {!install_view}.  [trace] receives this node's
     protocol-level events (quorum algorithm only — the full-mesh router
     has no rendezvous protocol to trace). *)
+
+val of_runtime : now:(unit -> float) -> Runtime.t -> t
+(** Wrap an already-wired runtime (e.g. from {!Sim_runtime.create});
+    [now] must be the same clock the runtime reads. *)
+
+val core : t -> Node_core.t
+
+val runtime : t -> Runtime.t
 
 val port : t -> int
 

@@ -1,0 +1,3 @@
+(* Re-export of the sans-IO protocol core, so existing consumers keep
+   addressing these modules as [Apor_overlay.Node_core]. *)
+include Apor_overlay_core.Node_core

@@ -1,0 +1,12 @@
+open Apor_sim
+module Core = Apor_overlay_core
+
+let create ~engine ~core ?deliver_data ?on_recommend ?trace () =
+  let src = Core.Node_core.port core in
+  Core.Runtime.create ~core
+    ~now:(fun () -> Engine.now engine)
+    ~send:(fun ~dst_port msg ->
+      Engine.send engine ~cls:(Core.Message.cls msg) ~src ~dst:dst_port
+        ~bytes:(Core.Message.size_bytes msg) msg)
+    ~schedule:(fun ~delay f -> Engine.schedule engine ~delay f)
+    ?deliver_data ?on_recommend ?trace ()

@@ -5,20 +5,24 @@
     every member whenever it changes.  Members that fail to refresh within
     the membership timeout (30 minutes in the paper) are expired.  The
     paper deliberately keeps this component simple — transient failures
-    are the routing layer's job, not the membership layer's. *)
+    are the routing layer's job, not the membership layer's.
 
-type callbacks = {
-  now : unit -> float;
+    Sans-IO like the rest of the protocol core: view pushes leave through
+    [eff.send], the expiry sweep is driven by the runtime calling
+    {!on_sweep_timer} whenever the timer armed via [set_sweep_timer]
+    fires. *)
+
+type effects = {
   send : dst_port:int -> Message.t -> unit;
-  schedule : delay:float -> (unit -> unit) -> unit;
+  set_sweep_timer : delay:float -> unit;
 }
 
 type t
 
-val create : self_port:int -> ?member_timeout_s:float -> callbacks -> t
+val create : self_port:int -> ?member_timeout_s:float -> effects -> t
 (** Default timeout: 1800 s. *)
 
-val handle_message : t -> src_port:int -> Message.t -> unit
+val handle_message : t -> now:float -> src_port:int -> Message.t -> unit
 (** Consumes [Join] and [Leave]; re-broadcasts views on change.  A [Join]
     from a known member refreshes its lease without a broadcast. *)
 
@@ -28,4 +32,8 @@ val members : t -> int list
 val version : t -> int
 
 val start_expiry : t -> unit
-(** Begin the periodic lease-expiry sweep. *)
+(** Begin the periodic lease-expiry sweep (arms the first sweep timer). *)
+
+val on_sweep_timer : t -> now:float -> unit
+(** The sweep timer fired: expire stale leases, broadcast on change,
+    re-arm. *)

@@ -7,7 +7,6 @@
 
 open Apor_util
 open Apor_linkstate
-open Apor_sim
 
 type t =
   | Probe of { seq : int }
@@ -49,9 +48,24 @@ val data_payload_bytes : int
 
 val size_bytes : t -> int
 
-val cls : t -> Traffic.cls
+val cls : t -> Msgclass.t
 (** Traffic class for bandwidth accounting: probes vs routing vs
     membership, so the benches can report "routing traffic" exactly as the
-    paper does. *)
+    paper does.  {!Apor_sim.Traffic.cls} is a re-export of this type. *)
+
+val equal : t -> t -> bool
+(** Structural, with {!Apor_linkstate.Snapshot.equal} for snapshots. *)
+
+val encode : t -> bytes
+(** Binary form for real transports (the UDP runtime): one tag byte plus
+    big-endian fixed-width fields, reusing {!Apor_linkstate.Wire} for
+    link-state entries, deltas and recommendations.  Encoding quantizes
+    snapshot entries exactly as the simulated network does.
+    @raise Invalid_argument when a field exceeds its wire width
+    (ports/ids 16 bits, views/epochs/seqs 32 bits). *)
+
+val decode : bytes -> (t, string) result
+(** Total inverse of {!encode} over well-formed input: truncated input,
+    unknown tags and trailing bytes yield [Error], never an exception. *)
 
 val pp : Format.formatter -> t -> unit

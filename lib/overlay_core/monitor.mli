@@ -8,23 +8,32 @@
     failure — fit within roughly one probing interval.  A dead peer keeps
     being probed at the normal cadence and is resurrected by any reply.
 
+    Sans-IO: the monitor never reads a clock or touches a transport.
+    Time enters as the [~now] argument of the input handlers; everything
+    it wants done — probes sent, timers armed, death/recovery signalled —
+    leaves through the {!effects} record, which {!Node_core} wires to its
+    output buffer.  The timers it arms come back through
+    {!on_probe_timer} / {!on_timeout_timer}.
+
     The monitor works in {e port} space and survives membership changes;
     only the set of actively probed peers is updated. *)
 
 open Apor_util
 open Apor_linkstate
 
-type callbacks = {
-  now : unit -> float;
+type effects = {
   send_probe : dst:int -> seq:int -> unit;
-  schedule : delay:float -> (unit -> unit) -> unit;
+  set_probe_timer : peer:int -> generation:int -> delay:float -> unit;
+      (** Arm a timer that must come back via {!on_probe_timer}. *)
+  set_timeout_timer : peer:int -> generation:int -> seq:int -> delay:float -> unit;
+      (** Arm a timer that must come back via {!on_timeout_timer}. *)
   on_peer_death : int -> unit;   (** proximal failure declared *)
   on_peer_recovery : int -> unit;
 }
 
 type t
 
-val create : config:Config.t -> self:int -> capacity:int -> rng:Rng.t -> callbacks -> t
+val create : config:Config.t -> self:int -> capacity:int -> rng:Rng.t -> effects -> t
 (** [capacity] bounds the port numbers that may ever be probed. *)
 
 val set_peers : t -> int list -> unit
@@ -33,9 +42,23 @@ val set_peers : t -> int list -> unit
 
 val peers : t -> int list
 
-val handle_reply : t -> src:int -> seq:int -> unit
+val on_probe_timer : t -> now:float -> peer:int -> generation:int -> unit
+(** A probe timer armed via [set_probe_timer] fired: send the next probe
+    and re-arm.  Stale generations are ignored. *)
+
+val on_timeout_timer : t -> now:float -> peer:int -> generation:int -> seq:int -> unit
+(** A probe-timeout timer fired: count the loss if the probe is still
+    outstanding, possibly declaring death or switching to the rapid
+    cadence. *)
+
+val handle_reply : t -> now:float -> src:int -> seq:int -> unit
 (** Feed a probe reply back in; unsolicited or duplicate replies are
     ignored. *)
+
+val force_status : t -> int -> up:bool -> unit
+(** Impose an external liveness verdict (transport-level error reports):
+    flips [alive] and fires the death/recovery effect when it changes
+    the current verdict. *)
 
 val alive : t -> int -> bool
 (** Current liveness verdict for a peer ([true] until proven dead). *)

@@ -16,14 +16,20 @@
       check gating repeated failover.
 
     All routing state lives in the rank space of the current membership
-    view; messages from other views are discarded. *)
+    view; messages from other views are discarded.
+
+    Sans-IO: the router performs no IO and never reads a clock.  Outbound
+    messages and timer (re)arms leave through the {!effects} record, and
+    every entry point that depends on time takes the current instant as
+    [~now].  The hosting runtime decides what "send" and "set a timer"
+    mean (simulator events, UDP datagrams, …) and must call
+    {!on_tick_timer} when the timer armed via [set_tick_timer] fires. *)
 
 open Apor_util
 
-type callbacks = {
-  now : unit -> float;
+type effects = {
   send : dst_port:int -> Message.t -> unit;
-  schedule : delay:float -> (unit -> unit) -> unit;
+  set_tick_timer : delay:float -> unit;
 }
 
 type t
@@ -34,7 +40,7 @@ val create :
   rng:Rng.t ->
   monitor:Monitor.t ->
   ?trace:(Apor_trace.Event.t -> unit) ->
-  callbacks ->
+  effects ->
   t
 (** With [trace], the router emits protocol-level events — link-state
     pushes and ingests, recommendations computed/applied, failover episode
@@ -43,19 +49,23 @@ val create :
     events, no allocation. *)
 
 val start : t -> unit
-(** Begin the routing loop (first tick after a random phase within one
-    interval).  Idempotent. *)
+(** Begin the routing loop: arms the first tick after a random phase
+    within one interval.  Idempotent. *)
 
-val set_view : t -> View.t -> unit
+val on_tick_timer : t -> now:float -> unit
+(** The tick timer fired: run one routing interval (announce, recommend,
+    failover maintenance) and re-arm the timer one interval out. *)
+
+val set_view : t -> now:float -> View.t -> unit
 (** Install a membership view: rebuild the grid and drop routing state
     from the previous view.  No-op when the version is unchanged. *)
 
 val view : t -> View.t option
 
-val handle_message : t -> src_port:int -> Message.t -> unit
+val handle_message : t -> now:float -> src_port:int -> Message.t -> unit
 (** Feed in [Link_state] and [Recommend] messages; others are ignored. *)
 
-val on_peer_death : t -> port:int -> unit
+val on_peer_death : t -> now:float -> port:int -> unit
 (** Proximal-failure notification from the monitor: runs an immediate
     failover scan instead of waiting for the next tick. *)
 
@@ -63,7 +73,7 @@ val on_peer_recovery : t -> port:int -> unit
 
 (** {1 Queries (used by applications and the metrics samplers)} *)
 
-val best_hop_port : t -> dst_port:int -> int option
+val best_hop_port : t -> now:float -> dst_port:int -> int option
 (** The overlay's answer to "how do I reach [dst] right now": the freshest
     recommendation if any, else a one-hop through a neighbour whose table
     the node holds (Section 4.2), else the direct path if the monitor
@@ -74,11 +84,11 @@ val best_hop_port : t -> dst_port:int -> int option
 val route_info : t -> dst_port:int -> (int * float * int) option
 (** [(hop_port, received_at, via_port)] of the stored recommendation. *)
 
-val freshness : t -> dst_port:int -> float option
+val freshness : t -> now:float -> dst_port:int -> float option
 (** Seconds since the last best-hop recommendation for this destination
     was received (Figures 12–14); [None] if none ever arrived. *)
 
-val double_rendezvous_failure_count : t -> int
+val double_rendezvous_failure_count : t -> now:float -> int
 (** Number of destinations currently experiencing failures of {e all}
     their default connecting rendezvous servers (Figure 11). *)
 

@@ -3,12 +3,15 @@
     Every routing interval (30 s by default) the node sends its link-state
     table to {e every} other member and recomputes all best one-hop routes
     locally from the tables it holds — [O(n^2)] per-node communication,
-    the baseline of Figures 7 and 9. *)
+    the baseline of Figures 7 and 9.
 
-type callbacks = {
-  now : unit -> float;
+    Sans-IO, like {!Router}: sends and timer arms leave through
+    {!effects}; time arrives as [~now]; the runtime calls
+    {!on_tick_timer} when the armed timer fires. *)
+
+type effects = {
   send : dst_port:int -> Message.t -> unit;
-  schedule : delay:float -> (unit -> unit) -> unit;
+  set_tick_timer : delay:float -> unit;
 }
 
 type t
@@ -18,22 +21,25 @@ val create :
   self_port:int ->
   rng:Apor_util.Rng.t ->
   monitor:Monitor.t ->
-  callbacks ->
+  effects ->
   t
 
 val start : t -> unit
 
-val set_view : t -> View.t -> unit
+val on_tick_timer : t -> now:float -> unit
+(** The tick timer fired: broadcast link state, recompute routes, re-arm. *)
+
+val set_view : t -> now:float -> View.t -> unit
 
 val view : t -> View.t option
 
-val handle_message : t -> src_port:int -> Message.t -> unit
+val handle_message : t -> now:float -> src_port:int -> Message.t -> unit
 (** Consumes [Link_state]; everything else is ignored. *)
 
-val best_hop_port : t -> dst_port:int -> int option
+val best_hop_port : t -> now:float -> dst_port:int -> int option
 (** Best one-hop (or direct) next hop, recomputed from the stored tables;
     [None] when unknown or unreachable. *)
 
-val freshness : t -> dst_port:int -> float option
+val freshness : t -> now:float -> dst_port:int -> float option
 (** Seconds since the destination's own link-state announcement was last
     received — the baseline's analogue of recommendation freshness. *)

@@ -1,0 +1,35 @@
+type t = {
+  core : Node_core.t;
+  now : unit -> float;
+  send : dst_port:int -> Message.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  deliver_data : id:int -> origin:int -> unit;
+  on_recommend : (server_port:int -> dst_port:int -> hop_port:int -> unit) option;
+  trace : (Apor_trace.Event.t -> unit) option;
+  mutable tap : (float -> Node_core.input -> Node_core.output list -> unit) option;
+}
+
+let create ~core ~now ~send ~schedule ?(deliver_data = fun ~id:_ ~origin:_ -> ())
+    ?on_recommend ?trace () =
+  { core; now; send; schedule; deliver_data; on_recommend; trace; tap = None }
+
+let core t = t.core
+let set_tap t f = t.tap <- f
+
+let rec dispatch t input =
+  let now = t.now () in
+  let outputs = Node_core.handle t.core ~now input in
+  (match t.tap with Some f -> f now input outputs | None -> ());
+  List.iter (apply t) outputs
+
+and apply t (o : Node_core.output) =
+  match o with
+  | Node_core.Send { dst_port; msg } -> t.send ~dst_port msg
+  | Node_core.Set_timer { timer; delay } ->
+      t.schedule ~delay (fun () -> dispatch t (Node_core.Tick timer))
+  | Node_core.Deliver_data { id; origin } -> t.deliver_data ~id ~origin
+  | Node_core.Recommend { server_port; dst_port; hop_port } -> (
+      match t.on_recommend with
+      | Some f -> f ~server_port ~dst_port ~hop_port
+      | None -> ())
+  | Node_core.Trace ev -> ( match t.trace with Some emit -> emit ev | None -> ())

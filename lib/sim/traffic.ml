@@ -1,7 +1,9 @@
-type cls = Probe | Routing | Membership | Data
+open Apor_util
 
-let all_classes = [ Probe; Routing; Membership; Data ]
-let cls_index = function Probe -> 0 | Routing -> 1 | Membership -> 2 | Data -> 3
+type cls = Msgclass.t = Probe | Routing | Membership | Data
+
+let all_classes = Msgclass.all
+let cls_index = Msgclass.index
 
 type t = {
   n : int;

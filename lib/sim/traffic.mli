@@ -6,11 +6,13 @@
     and outgoing bytes are summed — every bandwidth number in the paper is
     "incoming and outgoing". *)
 
-type cls =
+type cls = Apor_util.Msgclass.t =
   | Probe       (** probes and probe replies *)
   | Routing     (** link-state announcements and recommendations *)
   | Membership  (** coordinator traffic *)
   | Data        (** application packets forwarded over the overlay *)
+(** Re-export of {!Apor_util.Msgclass.t} so transport-agnostic layers can
+    classify messages without depending on the simulator. *)
 
 val all_classes : cls list
 

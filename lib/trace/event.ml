@@ -1,6 +1,5 @@
 open Apor_util
 open Apor_linkstate
-open Apor_sim
 
 module Kind = struct
   type t =
@@ -49,9 +48,9 @@ end
 type stop_reason = Recovered | Exhausted | Destination_dead
 
 type t =
-  | Send of { cls : Traffic.cls; src : int; dst : int; bytes : int }
-  | Deliver of { cls : Traffic.cls; src : int; dst : int; bytes : int }
-  | Drop of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Send of { cls : Msgclass.t; src : int; dst : int; bytes : int }
+  | Deliver of { cls : Msgclass.t; src : int; dst : int; bytes : int }
+  | Drop of { cls : Msgclass.t; src : int; dst : int; bytes : int }
   | Ls_push of { node : Nodeid.t; server : Nodeid.t; view : int }
   | Ls_ingest of { node : Nodeid.t; owner : Nodeid.t; view : int; snapshot : Snapshot.t }
   | Ls_gap of { node : Nodeid.t; owner : Nodeid.t; view : int; epoch : int }
@@ -99,11 +98,7 @@ let involves ev id =
   | Failover_stopped { node; dst; _ } -> node = id || dst = id
   | View_installed { node; _ } -> node = id
 
-let cls_to_string = function
-  | Traffic.Probe -> "probe"
-  | Traffic.Routing -> "routing"
-  | Traffic.Membership -> "membership"
-  | Traffic.Data -> "data"
+let cls_to_string = Msgclass.to_string
 
 let reason_to_string = function
   | Recovered -> "recovered"

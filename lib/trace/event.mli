@@ -15,7 +15,6 @@
 
 open Apor_util
 open Apor_linkstate
-open Apor_sim
 
 module Kind : sig
   type t =
@@ -48,11 +47,11 @@ type stop_reason =
   | Destination_dead  (** Section 4.1 liveness check concluded the destination is down *)
 
 type t =
-  | Send of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Send of { cls : Apor_util.Msgclass.t; src : int; dst : int; bytes : int }
       (** A packet left [src] (accounted whether or not it survives). *)
-  | Deliver of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Deliver of { cls : Apor_util.Msgclass.t; src : int; dst : int; bytes : int }
       (** The packet arrived at [dst] and is about to be dispatched. *)
-  | Drop of { cls : Traffic.cls; src : int; dst : int; bytes : int }
+  | Drop of { cls : Apor_util.Msgclass.t; src : int; dst : int; bytes : int }
       (** The network ate the packet at send time. *)
   | Ls_push of { node : Nodeid.t; server : Nodeid.t; view : int }
       (** Round one: [node] announced its link-state table to [server]

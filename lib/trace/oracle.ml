@@ -1,7 +1,6 @@
 open Apor_util
 open Apor_linkstate
 open Apor_quorum
-open Apor_sim
 open Apor_core
 
 type check = Quorum_intersection | One_hop_optimality | Traffic_conservation
@@ -230,18 +229,13 @@ let attach t collector = Collector.subscribe collector (observe t)
 
 (* --- invariant 3: traffic conservation ---------------------------------- *)
 
-let check_traffic t traffic ~now =
-  for node = 0 to Traffic.n traffic - 1 do
-    let engine =
-      List.fold_left
-        (fun acc cls ->
-          acc + Traffic.bytes_in_range traffic ~cls ~node ~t0:0. ~t1:(now +. 1.))
-        0 Traffic.all_classes
-    in
+let check_traffic t ~n ~accounted ~now =
+  for node = 0 to n - 1 do
+    let engine = accounted node in
     let traced = match Hashtbl.find_opt t.bytes node with Some r -> !r | None -> 0 in
     if engine <> traced then
       flag t ~time:now ~check:Traffic_conservation
-        (Printf.sprintf "node %d: engine accounted %d bytes but the trace saw %d" node
+        (Printf.sprintf "node %d: transport accounted %d bytes but the trace saw %d" node
            engine traced)
   done
 

@@ -19,8 +19,9 @@
        event by event from the exact quantized snapshots in [Ls_ingest].
        The protocol's tie-breaking is deterministic, so any divergence is
        a bug, not noise.}
-    {- {b Traffic conservation.}  Bytes accounted by the engine's
-       {!Apor_sim.Traffic} equal bytes seen in the trace, per node
+    {- {b Traffic conservation.}  Bytes accounted by the transport
+       (the engine's {!Apor_sim.Traffic} in emulation) equal bytes seen
+       in the trace, per node
        (checked on demand via {!check_traffic} — typically at the end of
        a run, or at checkpoints).}}
 
@@ -37,7 +38,6 @@
 
 open Apor_linkstate
 open Apor_quorum
-open Apor_sim
 
 type check = Quorum_intersection | One_hop_optimality | Traffic_conservation
 
@@ -77,10 +77,13 @@ val recommendations_checked : t -> int
 val applications_checked : t -> int
 (** [Rec_applied] events verified for quorum intersection. *)
 
-val check_traffic : t -> Traffic.t -> now:float -> unit
-(** Compare per-node byte totals: engine accounting vs. trace, from time
-    zero through [now].  Records/raises a [Traffic_conservation]
-    violation per disagreeing node. *)
+val check_traffic : t -> n:int -> accounted:(int -> int) -> now:float -> unit
+(** Compare per-node byte totals: transport accounting vs. trace, from
+    time zero through [now].  [accounted node] must return the bytes the
+    transport charged to node [node] over that span — for the simulator,
+    {!Apor_sim.Traffic.bytes_in_range} summed over every class with
+    [t1 = now + 1].  Records/raises a [Traffic_conservation] violation
+    per disagreeing node. *)
 
 val check_grid_cover : Grid.t -> (unit, string) result
 (** The static form of invariant 1, used by the property tests: every

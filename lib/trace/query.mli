@@ -6,10 +6,9 @@
     per-node message volume, recommendation propagation latency, and
     failover episode timelines. *)
 
-open Apor_sim
 
 val per_node_messages :
-  ?cls:Traffic.cls -> ?t0:float -> ?t1:float -> Collector.t -> n:int -> (int * int) array
+  ?cls:Apor_util.Msgclass.t -> ?t0:float -> ?t1:float -> Collector.t -> n:int -> (int * int) array
 (** [(sent, received)] packet counts per node over engine events,
     optionally restricted to one traffic class and a closed time
     window.  Drops count as sent, not received — exactly like the

@@ -1,0 +1,13 @@
+type t = Probe | Routing | Membership | Data
+
+let all = [ Probe; Routing; Membership; Data ]
+let count = 4
+let index = function Probe -> 0 | Routing -> 1 | Membership -> 2 | Data -> 3
+
+let to_string = function
+  | Probe -> "probe"
+  | Routing -> "routing"
+  | Membership -> "membership"
+  | Data -> "data"
+
+let pp ppf cls = Format.pp_print_string ppf (to_string cls)

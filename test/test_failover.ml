@@ -163,7 +163,7 @@ let test_single_rendezvous_failure_harmless () =
       (* the dead node itself may register as a double failure (its own
          rendezvous can no longer reach it) but no other pair may *)
       check_bool "at most the dead node double-fails" true
-        (Router.double_rendezvous_failure_count router <= 1)
+        (Router.double_rendezvous_failure_count router ~now:(Cluster.now c) <= 1)
   | None -> Alcotest.fail "expected quorum router");
   match Cluster.freshness c ~src ~dst with
   | Some age -> check_bool "fresh recs" true (age <= 2. *. r)
