@@ -358,3 +358,52 @@ let quorum_compare () =
      for perfect load balance on ragged n; the probabilistic one (Malkhi et\n\
      al., the paper's [14]) shows why certain cover matters: its rare\n\
      uncovered pairs settle for the Section 4.2 fallback routes)"
+
+(* --- Chaos: resilience scoring under a scripted fault timeline --------------------- *)
+
+(* The bench variant builds its scenario with the OCaml combinators rather
+   than a .scn file: same timeline shape as examples/chaos/
+   fig8_concurrent_links.scn, scaled down under --quick. *)
+
+let chaos ~quick ~seed =
+  section "Chaos: resilience under concurrent scripted faults (simulator)";
+  let open Apor_chaos in
+  let n = if quick then 9 else 16 in
+  let horizon_s = if quick then 320. else 600. in
+  let rng = Rng.split (Rng.make ~seed) "bench.chaos" in
+  let random_flap r =
+    let a = Rng.int r n in
+    let rec other () =
+      let b = Rng.int r n in
+      if b = a then other () else b
+    in
+    Scenario.Link_flap { a; b = other (); duration_s = 30. }
+  in
+  let scn =
+    Scenario.make ~name:"bench-chaos" ~n ~seed ~warmup_s:120. ~horizon_s
+      ~grace_s:60.
+      [
+        Scenario.stagger ~t0:130. ~gap_s:15.
+          [
+            Scenario.Link_flap { a = 0; b = 4; duration_s = 60. };
+            Scenario.Link_flap { a = 2; b = 7; duration_s = 60. };
+          ];
+        Scenario.at 175.
+          (Scenario.Loss_burst { a = 1; b = 5; loss = 0.9; duration_s = 30. });
+        (if quick then []
+         else Scenario.at 330. (Scenario.Node_crash { node = 3; down_s = 45. }));
+        (if quick then []
+         else Scenario.sample ~rng ~k:3 ~t0:420. ~t1:470. random_flap);
+      ]
+  in
+  match Runner.run_sim scn with
+  | Error e -> Printf.printf "chaos: error: %s\n" e
+  | Ok { Runner.score; violations; passed } ->
+      Apor_analysis.Resilience.print score;
+      List.iter
+        (fun v ->
+          Printf.printf "  violation: %s\n"
+            (Format.asprintf "%a" Apor_trace.Oracle.pp_violation v))
+        violations;
+      Printf.printf "\nresult: %s\n" (if passed then "PASSED" else "FAILED");
+      if not passed then failwith "chaos scenario failed resilience scoring"

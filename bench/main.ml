@@ -23,6 +23,7 @@ let experiments ~quick ~seed ~trace ~json ~jobs =
     ("deploy", fun () -> Deployment.all ~quick ~seed ?trace ());
     ("availability", fun () -> Experiments.availability ~quick ~seed);
     ("quorum-compare", fun () -> Experiments.quorum_compare ());
+    ("chaos", fun () -> Experiments.chaos ~quick ~seed);
     ("ablation", fun () -> Ablation.run ~seed);
     ("micro", fun () -> Micro.run ?json ~jobs ~quick ~seed ());
   ]

@@ -5,7 +5,8 @@
      theory        print the closed-form bandwidth model and capacity table
      emulate       run an overlay emulation and report bandwidth and freshness
      detour        generate a synthetic internet and report one-hop detour gains
-     deploy-local  run the protocol over real loopback UDP sockets *)
+     deploy-local  run the protocol over real loopback UDP sockets
+     chaos         replay a fault scenario and score resilience *)
 
 open Cmdliner
 open Apor_util
@@ -316,6 +317,98 @@ let detour_cmd =
     (Cmd.info "detour" ~doc:"One-hop detour statistics on a synthetic internet (Figure 1)")
     Term.(const run_detour $ n $ seed $ threshold)
 
+(* --- chaos ------------------------------------------------------------------- *)
+
+let run_chaos scenario_file runtime json base_port time_scale verbose =
+  let module Scenario = Apor_chaos.Scenario in
+  let module Runner = Apor_chaos.Runner in
+  match Scenario.load scenario_file with
+  | Error e ->
+      Format.eprintf "chaos: %s@." e;
+      exit 2
+  | Ok scn -> (
+      Format.printf "%a@." Scenario.pp scn;
+      let progress = if verbose then fun s -> Format.printf "  %s@." s else fun _ -> () in
+      let result =
+        match runtime with
+        | `Sim -> Runner.run_sim ~progress scn
+        | `Udp -> Runner.run_udp ~base_port ?time_scale ~progress scn
+      in
+      match result with
+      | Error e when runtime = `Udp && String.length e >= 7 && String.sub e 0 7 = "sockets"
+        ->
+          (* No usable loopback sockets (sandboxed CI): skip, like
+             deploy-local does. *)
+          Format.printf "chaos: %s; skipping@." e;
+          exit 0
+      | Error e ->
+          Format.eprintf "chaos: %s@." e;
+          exit 2
+      | Ok outcome ->
+          print_string (Apor_analysis.Resilience.render outcome.Runner.score);
+          (match json with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Apor_chaos.Score.to_json outcome.Runner.score);
+              close_out oc;
+              Format.printf "wrote %s@." path
+          | None -> ());
+          if outcome.Runner.violations <> [] then begin
+            Format.printf "oracle violations:@.";
+            List.iter
+              (fun v -> Format.printf "  %a@." Apor_trace.Oracle.pp_violation v)
+              outcome.Runner.violations
+          end;
+          if not outcome.Runner.passed then begin
+            Format.printf "FAILED: %s@."
+              (if outcome.Runner.score.Apor_chaos.Score.violations_out_of_grace > 0 then
+                 "invariant violations outside fault windows"
+               else "pairs without a fresh route at the horizon");
+            exit 1
+          end;
+          Format.printf "PASSED@.")
+
+let chaos_cmd =
+  let scenario =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "scenario"; "s" ] ~docv:"FILE" ~doc:"Scenario file (.scn s-expressions).")
+  in
+  let runtime =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("udp", `Udp) ]) `Sim
+      & info [ "runtime"; "r" ] ~docv:"RUNTIME"
+          ~doc:"Replay on the simulator (sim) or over loopback UDP (udp).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the resilience score JSON to FILE.")
+  in
+  let base_port =
+    Arg.(
+      value & opt int 9300
+      & info [ "base-port" ] ~docv:"PORT" ~doc:"First UDP port (udp runtime).")
+  in
+  let time_scale =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-scale" ] ~docv:"FACTOR"
+          ~doc:"Wall seconds per scenario second on udp (default 1/30).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print injections and samples.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Replay a fault scenario with the invariant oracle attached and score resilience")
+    Term.(
+      const run_chaos $ scenario $ runtime $ json $ base_port $ time_scale $ verbose)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -323,4 +416,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "apor" ~version:"1.0.0"
              ~doc:"Scaling all-pairs overlay routing (CoNEXT 2009) toolbox")
-          [ grid_cmd; theory_cmd; emulate_cmd; detour_cmd; deploy_local_cmd ]))
+          [ grid_cmd; theory_cmd; emulate_cmd; detour_cmd; deploy_local_cmd; chaos_cmd ]))

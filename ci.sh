@@ -29,6 +29,28 @@ dune exec test/test_node_core.exe -- test core
 # itself and exits 0 with a skip notice in that case.
 dune exec bin/apor.exe -- deploy-local --n 9 --quick
 
+# Chaos smoke (sim): replay the smoke scenario with the oracle attached
+# and fail on any out-of-grace violation or unrecovered pair. Run it
+# twice and diff the score JSONs: same scenario + seed must be
+# byte-identical (the determinism regression from test_chaos, end to
+# end through the CLI).
+dune exec bin/apor.exe -- chaos --scenario examples/chaos/smoke.scn \
+  --runtime sim --json /tmp/apor-chaos-a.json
+dune exec bin/apor.exe -- chaos --scenario examples/chaos/smoke.scn \
+  --runtime sim --json /tmp/apor-chaos-b.json > /dev/null
+cmp /tmp/apor-chaos-a.json /tmp/apor-chaos-b.json || {
+  echo "ci: chaos score JSON is not deterministic across identical runs" >&2
+  exit 1
+}
+rm -f /tmp/apor-chaos-a.json /tmp/apor-chaos-b.json
+
+# Chaos smoke (udp): the same scenario replayed over real loopback
+# sockets at the compressed deploy timescale (~8 s of wall clock,
+# includes a real node crash + restart-with-rejoin). Like deploy-local,
+# the binary exits 0 with a skip notice in socket-less sandboxes.
+dune exec bin/apor.exe -- chaos --scenario examples/chaos/smoke.scn \
+  --runtime udp --base-port 9500
+
 # Documentation build (odoc). The libraries are private, so the pages live
 # under @doc-private. Skipped when odoc isn't installed (offline images).
 if command -v odoc >/dev/null 2>&1; then

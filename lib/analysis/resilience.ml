@@ -1,0 +1,65 @@
+open Apor_util
+module Score = Apor_chaos.Score
+
+let fmt_avail = Printf.sprintf "%.4f"
+
+let summary_cells = function
+  | Some (s : Stats.summary) ->
+      [
+        string_of_int s.count;
+        Printf.sprintf "%.3f" s.p50;
+        Printf.sprintf "%.3f" s.p97;
+        Printf.sprintf "%.3f" s.max;
+      ]
+  | None -> [ "0"; "-"; "-"; "-" ]
+
+let render (score : Score.t) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "chaos %s on %s: n=%d seed=%d horizon=%gs%s\n" score.scenario
+    score.runtime score.n score.seed score.horizon_s
+    (if score.time_scale = 1. then ""
+     else Printf.sprintf " (time scale %.4f)" score.time_scale);
+  if score.windows <> [] then begin
+    let windows =
+      Texttable.create
+        ~header:[ "t0"; "t1"; "fault"; "avail before"; "during"; "after" ]
+    in
+    List.iter
+      (fun (w : Score.window) ->
+        Texttable.add_row windows
+          [
+            Printf.sprintf "%.1f" w.t0;
+            Printf.sprintf "%.1f" w.t1;
+            w.fault;
+            fmt_avail w.avail_before;
+            fmt_avail w.avail_during;
+            fmt_avail w.avail_after;
+          ])
+      score.windows;
+    Buffer.add_string buf (Texttable.render windows);
+    Buffer.add_char buf '\n'
+  end;
+  let latencies =
+    Texttable.create ~header:[ "metric (s)"; "samples"; "p50"; "p97"; "max" ]
+  in
+  Texttable.add_row latencies ("rec latency" :: summary_cells score.rec_latency_s);
+  Texttable.add_row latencies ("failover span" :: summary_cells score.failover_s);
+  Texttable.add_row latencies ("staleness @ end" :: summary_cells score.staleness_s);
+  Buffer.add_string buf (Texttable.render latencies);
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "failovers started: %d\n" score.failover_count;
+  Printf.bprintf buf "oracle: %d checks, %d violations (%d outside fault windows + grace)\n"
+    score.oracle_checks score.violations_total score.violations_out_of_grace;
+  Printf.bprintf buf "recovery: %d/%d pairs hold a fresh route at the horizon\n"
+    score.pairs_recovered score.pairs_total;
+  (match score.transport with
+  | None -> ()
+  | Some tr ->
+      Printf.bprintf buf
+        "transport: %d sent / %d received, %d retries; dropped %d (overflow %d, refused \
+         %d, injected %d), undecodable %d\n"
+        tr.datagrams_sent tr.datagrams_received tr.send_retries tr.frames_dropped
+        tr.dropped_overflow tr.dropped_refused tr.dropped_injected tr.undecodable);
+  Buffer.contents buf
+
+let print score = print_string (render score)

@@ -1,0 +1,7 @@
+(** Rendering a chaos {!Apor_chaos.Score} as the text report [apor chaos]
+    prints: one availability row per fault window, then the latency,
+    oracle and transport summaries. *)
+
+val render : Apor_chaos.Score.t -> string
+
+val print : Apor_chaos.Score.t -> unit

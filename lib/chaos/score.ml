@@ -1,0 +1,139 @@
+open Apor_util
+
+type window = {
+  fault : string;
+  t0 : float;
+  t1 : float;
+  avail_before : float;
+  avail_during : float;
+  avail_after : float;
+}
+
+type transport = {
+  datagrams_sent : int;
+  datagrams_received : int;
+  send_retries : int;
+  frames_dropped : int;
+  dropped_overflow : int;
+  dropped_refused : int;
+  dropped_injected : int;
+  undecodable : int;
+}
+
+type t = {
+  scenario : string;
+  runtime : string;
+  n : int;
+  seed : int;
+  time_scale : float;
+  horizon_s : float;
+  windows : window list;
+  failover_count : int;
+  failover_s : Stats.summary option;
+  rec_latency_s : Stats.summary option;
+  staleness_s : Stats.summary option;
+  violations_total : int;
+  violations_out_of_grace : int;
+  pairs_total : int;
+  pairs_recovered : int;
+  oracle_checks : int;
+  transport : transport option;
+}
+
+let passed t ~require_recovery =
+  t.violations_out_of_grace = 0
+  && ((not require_recovery) || t.pairs_recovered = t.pairs_total)
+
+(* Deterministic JSON: every float through one fixed-width formatter, so
+   equal runs serialize to equal bytes. *)
+let jf v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.6f" v
+
+let jstr s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let summary_json = function
+  | None -> "null"
+  | Some (s : Stats.summary) ->
+      Printf.sprintf
+        {|{"count":%d,"mean":%s,"stddev":%s,"min":%s,"p50":%s,"p97":%s,"max":%s}|}
+        s.count (jf s.mean) (jf s.stddev) (jf s.min) (jf s.p50) (jf s.p97) (jf s.max)
+
+let window_json w =
+  Printf.sprintf
+    {|{"fault":%s,"t0":%s,"t1":%s,"avail_before":%s,"avail_during":%s,"avail_after":%s}|}
+    (jstr w.fault) (jf w.t0) (jf w.t1) (jf w.avail_before) (jf w.avail_during)
+    (jf w.avail_after)
+
+let transport_json = function
+  | None -> "null"
+  | Some tr ->
+      Printf.sprintf
+        {|{"datagrams_sent":%d,"datagrams_received":%d,"send_retries":%d,"frames_dropped":%d,"dropped_overflow":%d,"dropped_refused":%d,"dropped_injected":%d,"undecodable":%d}|}
+        tr.datagrams_sent tr.datagrams_received tr.send_retries tr.frames_dropped
+        tr.dropped_overflow tr.dropped_refused tr.dropped_injected tr.undecodable
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"scenario":%s,"runtime":%s,"n":%d,"seed":%d,"time_scale":%s,"horizon_s":%s|}
+       (jstr t.scenario) (jstr t.runtime) t.n t.seed (jf t.time_scale) (jf t.horizon_s));
+  Buffer.add_string buf ",\"windows\":[";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (window_json w))
+    t.windows;
+  Buffer.add_string buf "]";
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|,"failover_count":%d,"failover_s":%s,"rec_latency_s":%s,"staleness_s":%s|}
+       t.failover_count (summary_json t.failover_s) (summary_json t.rec_latency_s)
+       (summary_json t.staleness_s));
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|,"violations_total":%d,"violations_out_of_grace":%d,"pairs_total":%d,"pairs_recovered":%d,"oracle_checks":%d|}
+       t.violations_total t.violations_out_of_grace t.pairs_total t.pairs_recovered
+       t.oracle_checks);
+  Buffer.add_string buf
+    (Printf.sprintf {|,"transport":%s}|} (transport_json t.transport));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>chaos %s on %s: n=%d seed=%d@," t.scenario t.runtime t.n t.seed;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "  [%8.1f, %8.1f] %-38s avail %.4f -> %.4f -> %.4f@," w.t0 w.t1
+        w.fault w.avail_before w.avail_during w.avail_after)
+    t.windows;
+  Format.fprintf ppf "  failovers: %d" t.failover_count;
+  (match t.failover_s with
+  | Some s -> Format.fprintf ppf " (median %.2fs, p97 %.2fs)" s.p50 s.p97
+  | None -> ());
+  Format.fprintf ppf "@,";
+  (match t.rec_latency_s with
+  | Some s ->
+      Format.fprintf ppf "  rec latency: median %.3fs p97 %.3fs (%d samples)@," s.p50 s.p97
+        s.count
+  | None -> Format.fprintf ppf "  rec latency: no samples@,");
+  (match t.staleness_s with
+  | Some s -> Format.fprintf ppf "  staleness at horizon: median %.2fs max %.2fs@," s.p50 s.max
+  | None -> ());
+  Format.fprintf ppf "  oracle: %d checks, %d violations (%d outside grace)@,"
+    t.oracle_checks t.violations_total t.violations_out_of_grace;
+  Format.fprintf ppf "  recovery: %d/%d pairs@]" t.pairs_recovered t.pairs_total

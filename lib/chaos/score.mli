@@ -1,0 +1,62 @@
+(** Resilience metrics distilled from one chaos run.
+
+    Built by {!Runner} from the trace stream (rec latency, failover
+    episodes, oracle verdicts) and from availability samples taken around
+    every fault window; serialized as deterministic JSON — fixed-width
+    float formatting, no timestamps, no hash-order dependence — so the
+    same scenario and seed produce byte-identical output (the determinism
+    gate in ci.sh diffs two runs). *)
+
+open Apor_util
+
+type window = {
+  fault : string;  (** rendered fault, e.g. ["link-flap 3--17 for 60s"] *)
+  t0 : float;
+  t1 : float;  (** when the fault clears *)
+  avail_before : float;  (** routable-pair fraction just before injection *)
+  avail_during : float;  (** worst availability sampled inside the window *)
+  avail_after : float;  (** availability once the grace period has passed *)
+}
+
+type transport = {
+  datagrams_sent : int;
+  datagrams_received : int;
+  send_retries : int;
+  frames_dropped : int;
+  dropped_overflow : int;  (** retry budget exhausted (per-link sums) *)
+  dropped_refused : int;  (** peer socket gone *)
+  dropped_injected : int;  (** eaten by the fault injector *)
+  undecodable : int;  (** received frames rejected by [Frame.decode] *)
+}
+(** Real-socket loss accounting — UDP runs only. *)
+
+type t = {
+  scenario : string;
+  runtime : string;  (** ["sim"] or ["udp"] *)
+  n : int;
+  seed : int;
+  time_scale : float;  (** 1 on the simulator *)
+  horizon_s : float;  (** in scenario (unscaled) seconds *)
+  windows : window list;
+  failover_count : int;  (** failover episodes started *)
+  failover_s : Stats.summary option;  (** closed-episode durations *)
+  rec_latency_s : Stats.summary option;  (** Rec_computed -> Rec_applied *)
+  staleness_s : Stats.summary option;  (** per-pair route age at the horizon *)
+  violations_total : int;
+  violations_out_of_grace : int;  (** outside every fault window + grace *)
+  pairs_total : int;  (** ordered pairs, [n * (n-1)] *)
+  pairs_recovered : int;  (** pairs holding a fresh route at the horizon *)
+  oracle_checks : int;  (** recommendations + applications verified *)
+  transport : transport option;  (** UDP runs only *)
+}
+
+val passed : t -> require_recovery:bool -> bool
+(** No out-of-grace violations, and (when required) every pair
+    recovered. *)
+
+val to_json : t -> string
+(** One JSON object, newline-terminated.  All times are in scenario
+    seconds (UDP wall times divided back by [time_scale]) so sim and udp
+    scores are comparable. *)
+
+val pp : Format.formatter -> t -> unit

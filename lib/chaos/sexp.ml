@@ -1,0 +1,78 @@
+type t = Atom of string | List of t list
+
+let is_space = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let parse input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let err msg = Error (Printf.sprintf "line %d: %s" !line msg) in
+  let advance () =
+    if !pos < len && input.[!pos] = '\n' then incr line;
+    incr pos
+  in
+  let rec skip () =
+    if !pos < len then
+      if is_space input.[!pos] then begin
+        advance ();
+        skip ()
+      end
+      else if input.[!pos] = ';' then begin
+        while !pos < len && input.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip ()
+      end
+  in
+  let atom () =
+    let start = !pos in
+    while
+      !pos < len
+      && (not (is_space input.[!pos]))
+      && input.[!pos] <> '(' && input.[!pos] <> ')' && input.[!pos] <> ';'
+    do
+      advance ()
+    done;
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec form () =
+    skip ();
+    if !pos >= len then err "unexpected end of input"
+    else if input.[!pos] = '(' then begin
+      advance ();
+      let items = ref [] in
+      let rec loop () =
+        skip ();
+        if !pos >= len then err "unclosed ("
+        else if input.[!pos] = ')' then begin
+          advance ();
+          Ok (List (List.rev !items))
+        end
+        else
+          match form () with
+          | Ok f ->
+              items := f :: !items;
+              loop ()
+          | Error _ as e -> e
+      in
+      loop ()
+    end
+    else if input.[!pos] = ')' then err "unexpected )"
+    else Ok (atom ())
+  in
+  let rec top acc =
+    skip ();
+    if !pos >= len then Ok (List.rev acc)
+    else
+      match form () with
+      | Ok f -> top (f :: acc)
+      | Error _ as e -> e
+  in
+  top []
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | List items ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items

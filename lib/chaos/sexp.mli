@@ -1,0 +1,13 @@
+(** A minimal s-expression reader for scenario files.
+
+    Atoms are maximal runs of characters other than whitespace, parens and
+    [;]; a [;] starts a comment running to end of line.  No string syntax,
+    no quoting — scenario files need names and numbers, nothing more. *)
+
+type t = Atom of string | List of t list
+
+val parse : string -> (t list, string) result
+(** Every top-level form in the input, in order.  Errors carry a
+    line number. *)
+
+val pp : Format.formatter -> t -> unit

@@ -68,6 +68,16 @@ type stats = {
   mutable frames_dropped : int; (* retry budget exhausted or undecodable *)
 }
 
+type link_stats = {
+  mutable sent : int;
+  mutable retries : int;
+  mutable dropped_overflow : int;
+  mutable dropped_refused : int;
+  mutable dropped_injected : int;
+}
+
+type frame_fate = Pass | Drop | Corrupt | Duplicate | Delay of float
+
 (* One queued outbound frame with its retry budget. *)
 type pending = { frame : bytes; mutable attempts : int }
 
@@ -75,16 +85,20 @@ type link = {
   addr : Unix.sockaddr;
   queue : pending Queue.t;
   mutable reported_down : bool;
+  lstats : link_stats;
 }
 
 type endpoint = {
   port : int; (* logical overlay address = index *)
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   mutable rt : Core.Runtime.t option; (* set right after creation; never None in use *)
   links : link array;
   covered : bool array; (* dst ports a recommendation has been applied for *)
   mutable covered_count : int;
   mutable accounted_bytes : int; (* protocol-level bytes, sent + received *)
+  mutable alive : bool;
+  mutable incarnation : int; (* bumps on kill and restart; stale timers check it *)
+  mutable undecodable : int; (* received frames this endpoint could not decode *)
 }
 
 type t = {
@@ -97,6 +111,9 @@ type t = {
   recv_buf : bytes;
   stats : stats;
   trace : Apor_trace.Collector.t option;
+  mutable fault : (now:float -> src:int -> dst:int -> frame_fate) option;
+  mutable corrupt_cycle : int;
+  seed : int;
   mutable closed : bool;
 }
 
@@ -112,9 +129,11 @@ let try_send t ep link (p : pending) =
   match Unix.sendto ep.fd p.frame 0 (Bytes.length p.frame) [] link.addr with
   | _written ->
       t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+      link.lstats.sent <- link.lstats.sent + 1;
       `Sent
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ENOBUFS | EINTR), _, _) ->
       t.stats.send_retries <- t.stats.send_retries + 1;
+      link.lstats.retries <- link.lstats.retries + 1;
       `Retry
   | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
       (* Loopback ICMP port-unreachable from an earlier datagram: the peer
@@ -145,21 +164,38 @@ let flush_link t ep link =
     | `Retry ->
         if p.attempts >= max_attempts then begin
           ignore (Queue.pop link.queue);
-          t.stats.frames_dropped <- t.stats.frames_dropped + 1
+          t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+          link.lstats.dropped_overflow <- link.lstats.dropped_overflow + 1
         end
         else continue := false (* keep FIFO order; retry next loop turn *)
     | `Down ->
         ignore (Queue.pop link.queue);
         t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+        link.lstats.dropped_refused <- link.lstats.dropped_refused + 1;
         report_link t ep link ~up:false
   done
 
 let pending_sends t =
-  Array.exists (fun ep -> Array.exists (fun l -> not (Queue.is_empty l.queue)) ep.links)
+  Array.exists
+    (fun ep ->
+      ep.alive && Array.exists (fun l -> not (Queue.is_empty l.queue)) ep.links)
     t.endpoints
 
+(* Flip one byte inside the 6-byte frame header, cycling the position so
+   corruption exercises magic, version, source-port and length failures in
+   turn.  Deterministic: no draw is consumed. *)
+let corrupt_frame t frame =
+  let b = Bytes.copy frame in
+  let span = min Frame.header_bytes (Bytes.length b) in
+  if span > 0 then begin
+    let pos = t.corrupt_cycle mod span in
+    t.corrupt_cycle <- t.corrupt_cycle + 1;
+    Bytes.set_uint8 b pos (Bytes.get_uint8 b pos lxor 0xFF)
+  end;
+  b
+
 let send_from t ep ~dst_port msg =
-  if dst_port >= 0 && dst_port < t.n then begin
+  if ep.alive && dst_port >= 0 && dst_port < t.n then begin
     (* Mirror the simulator's convention: the sender is charged at send
        time, the receiver at delivery — the oracle's traffic-conservation
        check counts trace bytes the same way. *)
@@ -167,9 +203,74 @@ let send_from t ep ~dst_port msg =
     ep.accounted_bytes <- ep.accounted_bytes + bytes;
     emit t (Ev.Send { cls = Core.Message.cls msg; src = ep.port; dst = dst_port; bytes });
     let link = ep.links.(dst_port) in
-    Queue.push { frame = Frame.encode ~src_port:ep.port msg; attempts = 0 } link.queue;
-    flush_link t ep link
+    let enqueue frame =
+      Queue.push { frame; attempts = 0 } link.queue;
+      flush_link t ep link
+    in
+    let frame = Frame.encode ~src_port:ep.port msg in
+    match t.fault with
+    | None -> enqueue frame
+    | Some fate -> (
+        match fate ~now:(Clock.now t.clock) ~src:ep.port ~dst:dst_port with
+        | Pass -> enqueue frame
+        | Drop ->
+            (* vanishes like a lost datagram; already accounted at the src *)
+            t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+            link.lstats.dropped_injected <- link.lstats.dropped_injected + 1
+        | Corrupt -> enqueue (corrupt_frame t frame)
+        | Duplicate ->
+            enqueue frame;
+            enqueue (Bytes.copy frame)
+        | Delay d ->
+            let inc = ep.incarnation in
+            Timers.add t.timers
+              ~at:(Clock.now t.clock +. Float.max 0. d)
+              (fun () -> if ep.alive && ep.incarnation = inc then enqueue frame))
   end
+
+let make_socket ~base_port i =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (try
+     Unix.set_nonblock fd;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, udp_port ~base_port i))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+(* Build a node core plus its runtime wiring for [ep]'s current
+   incarnation.  Timer callbacks from an earlier incarnation are
+   recognised by the captured incarnation number and dropped. *)
+let wire_core t ep =
+  let core =
+    Core.Node_core.create ~config:t.config ~port:ep.port ~capacity:t.n
+      ~trace:(Option.is_some t.trace)
+      ~rng:
+        (Rng.make ~seed:t.seed
+        |> fun root ->
+        Rng.split root
+          (if ep.incarnation = 0 then Printf.sprintf "node.%d" ep.port
+           else Printf.sprintf "node.%d+%d" ep.port ep.incarnation))
+      ()
+  in
+  let inc = ep.incarnation in
+  let rt =
+    Core.Runtime.create ~core
+      ~now:(fun () -> Clock.now t.clock)
+      ~send:(fun ~dst_port msg -> send_from t ep ~dst_port msg)
+      ~schedule:(fun ~delay f ->
+        Timers.add t.timers
+          ~at:(Clock.now t.clock +. delay)
+          (fun () -> if ep.alive && ep.incarnation = inc then f ()))
+      ~on_recommend:(fun ~server_port:_ ~dst_port ~hop_port:_ ->
+        if dst_port >= 0 && dst_port < t.n && not ep.covered.(dst_port) then begin
+          ep.covered.(dst_port) <- true;
+          ep.covered_count <- ep.covered_count + 1
+        end)
+      ?trace:(Option.map (fun tr ev -> Apor_trace.Collector.emit tr ev) t.trace)
+      ()
+  in
+  ep.rt <- Some rt
 
 let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
   if n < 2 then invalid_arg "Udp_runtime.create: need at least two nodes";
@@ -181,18 +282,16 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
   let loopback = Unix.inet_addr_loopback in
   let fds = ref [] in
   let cleanup () = List.iter (fun fd -> try Unix.close fd with _ -> ()) !fds in
-  let make_socket i =
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-    fds := fd :: !fds;
-    (try
-       Unix.set_nonblock fd;
-       Unix.bind fd (Unix.ADDR_INET (loopback, udp_port ~base_port i))
-     with e ->
-       cleanup ();
-       raise e);
-    fd
+  let sockets =
+    Array.init n (fun i ->
+        match make_socket ~base_port i with
+        | fd ->
+            fds := fd :: !fds;
+            fd
+        | exception e ->
+            cleanup ();
+            raise e)
   in
-  let sockets = Array.init n make_socket in
   let endpoints =
     Array.init n (fun i ->
         {
@@ -205,10 +304,21 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
                   addr = Unix.ADDR_INET (loopback, udp_port ~base_port j);
                   queue = Queue.create ();
                   reported_down = false;
+                  lstats =
+                    {
+                      sent = 0;
+                      retries = 0;
+                      dropped_overflow = 0;
+                      dropped_refused = 0;
+                      dropped_injected = 0;
+                    };
                 });
           covered = Array.make n false;
           covered_count = 0;
           accounted_bytes = 0;
+          alive = true;
+          incarnation = 0;
+          undecodable = 0;
         })
   in
   let timers = Timers.create () in
@@ -224,40 +334,21 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
       stats =
         { datagrams_sent = 0; datagrams_received = 0; send_retries = 0; frames_dropped = 0 };
       trace;
+      fault = None;
+      corrupt_cycle = 0;
+      seed;
       closed = false;
     }
   in
-  let root = Rng.make ~seed in
-  Array.iter
-    (fun ep ->
-      let core =
-        Core.Node_core.create ~config ~port:ep.port ~capacity:n
-          ~trace:(Option.is_some trace)
-          ~rng:(Rng.split root (Printf.sprintf "node.%d" ep.port))
-          ()
-      in
-      let rt =
-        Core.Runtime.create ~core
-          ~now:(fun () -> Clock.now clock)
-          ~send:(fun ~dst_port msg -> send_from t ep ~dst_port msg)
-          ~schedule:(fun ~delay f -> Timers.add timers ~at:(Clock.now clock +. delay) f)
-          ~on_recommend:(fun ~server_port:_ ~dst_port ~hop_port:_ ->
-            if dst_port >= 0 && dst_port < n && not ep.covered.(dst_port) then begin
-              ep.covered.(dst_port) <- true;
-              ep.covered_count <- ep.covered_count + 1
-            end)
-          ?trace:(Option.map (fun tr ev -> Apor_trace.Collector.emit tr ev) trace)
-          ()
-      in
-      ep.rt <- Some rt)
-    t.endpoints;
+  Array.iter (fun ep -> wire_core t ep) t.endpoints;
   t
 
 let now t = Clock.now t.clock
 
+let static_view t = Core.View.create ~version:1 ~members:(List.init t.n Fun.id)
+
 let start t =
-  let members = List.init t.n Fun.id in
-  let view = Core.View.create ~version:1 ~members in
+  let view = static_view t in
   Array.iter
     (fun ep ->
       match ep.rt with
@@ -278,7 +369,7 @@ let fire_due_timers t =
 let receive_ready t ready =
   List.iter
     (fun fd ->
-      match Array.find_opt (fun ep -> ep.fd == fd) t.endpoints with
+      match Array.find_opt (fun ep -> ep.alive && ep.fd == fd) t.endpoints with
       | None -> ()
       | Some ep ->
           let continue = ref true in
@@ -287,7 +378,7 @@ let receive_ready t ready =
             | len, _from -> (
                 t.stats.datagrams_received <- t.stats.datagrams_received + 1;
                 match Frame.decode (Bytes.sub t.recv_buf 0 len) with
-                | Ok (src_port, msg) -> (
+                | Ok (src_port, msg) when src_port >= 0 && src_port < t.n -> (
                     let bytes = Core.Message.size_bytes msg in
                     ep.accounted_bytes <- ep.accounted_bytes + bytes;
                     emit t
@@ -298,7 +389,10 @@ let receive_ready t ready =
                         Core.Runtime.dispatch rt
                           (Core.Node_core.Deliver { src_port; msg })
                     | None -> ())
-                | Error _ -> t.stats.frames_dropped <- t.stats.frames_dropped + 1)
+                | Ok _ (* source port outside the overlay: corrupted header *)
+                | Error _ ->
+                    t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+                    ep.undecodable <- ep.undecodable + 1)
             | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
                 continue := false
             | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
@@ -309,15 +403,19 @@ let receive_ready t ready =
 
 let run t ~duration =
   if t.closed then invalid_arg "Udp_runtime.run: closed";
-  let fds = Array.to_list (Array.map (fun ep -> ep.fd) t.endpoints) in
   let deadline = Clock.now t.clock +. duration in
   let continue = ref true in
   while !continue do
     fire_due_timers t;
-    Array.iter (fun ep -> Array.iter (fun l -> flush_link t ep l) ep.links) t.endpoints;
+    Array.iter
+      (fun ep -> if ep.alive then Array.iter (fun l -> flush_link t ep l) ep.links)
+      t.endpoints;
     let now = Clock.now t.clock in
     if now >= deadline then continue := false
     else begin
+      let fds =
+        Array.fold_left (fun acc ep -> if ep.alive then ep.fd :: acc else acc) [] t.endpoints
+      in
       let until_deadline = deadline -. now in
       let until_timer =
         match Timers.next_at t.timers with
@@ -332,24 +430,84 @@ let run t ~duration =
     end
   done
 
+let check_port t i name =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Udp_runtime.%s: out of range" name)
+
 let node_core t i =
-  if i < 0 || i >= t.n then invalid_arg "Udp_runtime.node_core: out of range";
+  check_port t i "node_core";
   match t.endpoints.(i).rt with
   | Some rt -> Core.Runtime.core rt
   | None -> assert false
+
+let node_alive t i =
+  check_port t i "node_alive";
+  t.endpoints.(i).alive
+
+let kill_node t i =
+  check_port t i "kill_node";
+  let ep = t.endpoints.(i) in
+  if ep.alive then begin
+    ep.alive <- false;
+    ep.incarnation <- ep.incarnation + 1;
+    (* Close the socket: peers' subsequent sends surface ECONNREFUSED, the
+       same evidence a really-crashed process leaves behind. *)
+    (try Unix.close ep.fd with Unix.Unix_error _ -> ());
+    Array.iter (fun l -> Queue.clear l.queue) ep.links
+  end
+
+let restart_node t i =
+  check_port t i "restart_node";
+  let ep = t.endpoints.(i) in
+  if not ep.alive then begin
+    ep.fd <- make_socket ~base_port:t.base_port i;
+    ep.incarnation <- ep.incarnation + 1;
+    ep.alive <- true;
+    (* The crash lost all routing state: coverage starts over. *)
+    Array.fill ep.covered 0 t.n false;
+    ep.covered_count <- 0;
+    Array.iter (fun l -> l.reported_down <- false) ep.links;
+    wire_core t ep;
+    (* Rejoin: static membership hands the restarted node the full view,
+       exactly as [start] did for incarnation zero. *)
+    match ep.rt with
+    | Some rt ->
+        Core.Runtime.dispatch rt Core.Node_core.Start;
+        Core.Runtime.dispatch rt (Core.Node_core.Install_view (static_view t))
+    | None -> ()
+  end
+
+let set_fault_injector t f = t.fault <- f
 
 let coverage t =
   let covered = Array.fold_left (fun acc ep -> acc + ep.covered_count) 0 t.endpoints in
   (covered, t.n * (t.n - 1))
 
 let accounted_bytes t i =
-  if i < 0 || i >= t.n then invalid_arg "Udp_runtime.accounted_bytes: out of range";
+  check_port t i "accounted_bytes";
   t.endpoints.(i).accounted_bytes
 
 let stats t = t.stats
 
+let link_stats t ~src ~dst =
+  check_port t src "link_stats";
+  check_port t dst "link_stats";
+  let l = t.endpoints.(src).links.(dst).lstats in
+  {
+    sent = l.sent;
+    retries = l.retries;
+    dropped_overflow = l.dropped_overflow;
+    dropped_refused = l.dropped_refused;
+    dropped_injected = l.dropped_injected;
+  }
+
+let undecodable t i =
+  check_port t i "undecodable";
+  t.endpoints.(i).undecodable
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    Array.iter (fun ep -> try Unix.close ep.fd with Unix.Unix_error _ -> ()) t.endpoints
+    Array.iter
+      (fun ep -> if ep.alive then try Unix.close ep.fd with Unix.Unix_error _ -> ())
+      t.endpoints
   end

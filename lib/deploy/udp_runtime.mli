@@ -18,14 +18,40 @@
 
     Membership is static: {!start} dispatches [Start] and installs the
     full view on every node, the steady-state configuration of the
-    paper's measurements. *)
+    paper's measurements.
+
+    {b Fault injection} (the [Apor_chaos] UDP injector drives these):
+    {!kill_node}/{!restart_node} crash and revive individual node loops —
+    a kill closes the socket (peers see [ECONNREFUSED], exactly the
+    evidence a crashed process leaves) and silences the node's timers via
+    an incarnation counter; a restart rebinds the port and boots a {e
+    fresh} core that rejoins through [Start]/[Install_view].
+    {!set_fault_injector} interposes on every outbound frame at the
+    {!Frame} layer: drop, corrupt (one header byte flipped — receivers
+    reject it, or discard it on the out-of-range source-port guard),
+    duplicate, or delay by a given number of seconds (reordering). *)
 
 type stats = {
   mutable datagrams_sent : int;
   mutable datagrams_received : int;
   mutable send_retries : int;
-  mutable frames_dropped : int; (* retry budget exhausted or undecodable *)
+  mutable frames_dropped : int;
+      (** Every frame that died in the transport: retry budget exhausted,
+          peer socket gone, undecodable on arrival, or injected drop. *)
 }
+
+type link_stats = {
+  mutable sent : int;  (** datagrams handed to the kernel on this link *)
+  mutable retries : int;  (** transient kernel refusals ([EAGAIN]/[ENOBUFS]) *)
+  mutable dropped_overflow : int;  (** retry budget exhausted *)
+  mutable dropped_refused : int;  (** peer socket gone ([ECONNREFUSED]) *)
+  mutable dropped_injected : int;  (** eaten by the fault injector *)
+}
+(** Per-directed-link (sender-side) counters, so resilience scoring can
+    attribute real-socket losses instead of under-counting them in the
+    global {!stats} sums. *)
+
+type frame_fate = Pass | Drop | Corrupt | Duplicate | Delay of float
 
 type t
 
@@ -56,18 +82,47 @@ val now : t -> float
 (** Seconds since [create] on the runtime's clock. *)
 
 val node_core : t -> int -> Apor_overlay_core.Node_core.t
-(** The [i]-th node's state machine, for queries. *)
+(** The [i]-th node's state machine, for queries.  After a restart this
+    is the {e current} incarnation's core. *)
 
 val coverage : t -> int * int
 (** [(covered, total)] ordered pairs [(i, j)], [i <> j], for which node
     [i] has received and applied a rendezvous recommendation toward
-    [j]. *)
+    [j].  A restarted node's coverage starts over. *)
 
 val accounted_bytes : t -> int -> int
 (** Protocol-level bytes (in + out, {!Apor_overlay_core.Message.size_bytes})
     charged to node [i] — the transport side of the oracle's traffic
-    conservation check. *)
+    conservation check.  Cumulative across restarts. *)
 
 val stats : t -> stats
+
+val link_stats : t -> src:int -> dst:int -> link_stats
+(** Snapshot of the sender-side counters for the directed link
+    [src -> dst].  @raise Invalid_argument out of range. *)
+
+val undecodable : t -> int -> int
+(** Received frames node [i] rejected (bad magic/version/length, source
+    port outside the overlay, or payload decode failure). *)
+
+(** {1 Fault injection} *)
+
+val kill_node : t -> int -> unit
+(** Crash node [i]: close its socket, clear its send queues and silence
+    its timers.  Idempotent. *)
+
+val restart_node : t -> int -> unit
+(** Revive a killed node [i]: rebind its UDP port and boot a fresh core
+    (deterministic per [(seed, port, incarnation)]) that rejoins via
+    [Start] + [Install_view].  No-op when the node is alive. *)
+
+val node_alive : t -> int -> bool
+
+val set_fault_injector :
+  t -> (now:float -> src:int -> dst:int -> frame_fate) option -> unit
+(** Interpose on outbound frames.  The verdict applies after the send is
+    accounted and traced (like the simulator, where a lost packet still
+    charges its sender); [Delay d] re-enqueues the frame [d] seconds
+    later, letting younger frames overtake it.  [None] removes the hook. *)
 
 val close : t -> unit

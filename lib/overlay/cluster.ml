@@ -151,6 +151,13 @@ let now t = Engine.now t.engine
 let best_hop t ~src ~dst = Node.best_hop (node t src) ~dst_port:dst
 let freshness t ~src ~dst = Node.freshness (node t src) ~dst_port:dst
 
+let route_ok t ~src ~dst =
+  let net = network t in
+  match best_hop t ~src ~dst with
+  | None -> Network.link_up net src dst
+  | Some hop when hop = dst || hop = src -> Network.link_up net src dst
+  | Some hop -> Network.link_up net src hop && Network.link_up net hop dst
+
 let routing_kbps t ~node:port ~t0 ~t1 =
   Traffic.kbps (traffic t) ~classes:[ Traffic.Routing ] ~node:port ~t0 ~t1
 

@@ -64,6 +64,14 @@ val best_hop : t -> src:int -> dst:int -> int option
 
 val freshness : t -> src:int -> dst:int -> float option
 
+val route_ok : t -> src:int -> dst:int -> bool
+(** Would a packet from [src] to [dst] get through {e right now} along
+    the current route — the direct link when no recommendation is
+    installed, otherwise both legs of the recommended one-hop path?
+    Ignores loss (a lossy link is degraded, not unavailable).  This is
+    the instantaneous form of the RON-style availability the chaos
+    scorer samples around fault windows. *)
+
 val routing_kbps : t -> node:int -> t0:float -> t1:float -> float
 (** Routing traffic only (link-state + recommendations), in + out — the
     quantity Figures 9 and 10 plot. *)

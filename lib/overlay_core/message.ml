@@ -207,9 +207,15 @@ let decode buf =
         let epoch = u32 () in
         let owner = u16 () in
         let n = u16 () in
-        match Wire.decode_entries (raw (n * Wire.entry_bytes)) with
-        | Ok entries -> Ok (Link_state { view; epoch; snapshot = Snapshot.create ~owner entries })
-        | Error e -> Error e)
+        if owner >= n then
+          (* [Snapshot.create] would raise; a hostile or corrupted frame
+             must yield [Error], decode is total. *)
+          Error (Printf.sprintf "Message.decode: owner %d outside %d-entry snapshot" owner n)
+        else
+          match Wire.decode_entries (raw (n * Wire.entry_bytes)) with
+          | Ok entries ->
+              Ok (Link_state { view; epoch; snapshot = Snapshot.create ~owner entries })
+          | Error e -> Error e)
     | tag when tag = tag_link_state_delta -> (
         let view = u32 () in
         let k = u16 () in

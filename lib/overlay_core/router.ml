@@ -98,7 +98,16 @@ let set_view t ~now v =
               failover = Nodeid.Map.empty;
               suspected_dead = Nodeid.Set.empty;
               created_at = now;
-              announce_epoch = 0;
+              (* Seeded from the clock, not zero: epochs must stay monotone
+                 across a crash + restart-with-rejoin (the chaos runtime
+                 reboots node processes), or servers holding the previous
+                 incarnation's higher epochs would reject the fresh
+                 announcements as out of order.  Within one incarnation the
+                 counter advances one per routing tick — at most as fast as
+                 time over routing_interval — so a restart after more than
+                 one routing interval of downtime always starts ahead. *)
+              announce_epoch =
+                2 + int_of_float (now /. Float.max 1e-6 t.config.routing_interval_s);
               last_announced = None;
               last_sent = Hashtbl.create 8;
               connecting_memo = Array.make m None;

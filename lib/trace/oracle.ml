@@ -69,6 +69,10 @@ let flag t ~time ~check detail =
 
 let violations t = List.rev t.violations
 let violation_count t = List.length t.violations
+
+let violations_outside t ~windows =
+  let covered time = List.exists (fun (t0, t1) -> time >= t0 && time <= t1) windows in
+  List.rev (List.filter (fun v -> not (covered v.time)) t.violations)
 let recommendations_checked t = t.recommendations_checked
 let applications_checked t = t.applications_checked
 

@@ -71,6 +71,12 @@ val violations : t -> violation list
 
 val violation_count : t -> int
 
+val violations_outside : t -> windows:(float * float) list -> violation list
+(** Violations whose time falls inside none of the (closed) windows —
+    the chaos scorer's "out of grace" count: a quorum break {e while} a
+    fault it injected is tearing the grid apart is expected, the same
+    break in calm air is a bug.  Chronological. *)
+
 val recommendations_checked : t -> int
 (** Individual (pair, hop) entries verified for one-hop optimality. *)
 

@@ -337,6 +337,57 @@ let test_frame_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad magic decoded"
 
+(* Frame.decode totality: random garbage, truncations, single-byte
+   corruptions and trailing junk over valid frames must all come back as
+   [Ok]/[Error] — never an exception.  This is what lets the chaos UDP
+   injector corrupt outbound datagrams and trust receivers to survive. *)
+let gen_hostile_frame =
+  QCheck.Gen.(
+    let arbitrary =
+      let* s = string_size (int_range 0 128) in
+      return (Bytes.of_string s)
+    in
+    let from_valid =
+      let* msg = gen_message in
+      let* src = int_range 0 100 in
+      let frame = Apor_deploy.Frame.encode ~src_port:src msg in
+      let len = Bytes.length frame in
+      oneof
+        [
+          (let* cut = int_range 0 (len - 1) in
+           return (Bytes.sub frame 0 cut));
+          (let* pos = int_range 0 (len - 1) in
+           let* v = int_range 0 255 in
+           let b = Bytes.copy frame in
+           Bytes.set_uint8 b pos v;
+           return b);
+          (let* extra = string_size (int_range 1 16) in
+           return (Bytes.cat frame (Bytes.of_string extra)));
+        ]
+    in
+    oneof [ arbitrary; from_valid ])
+
+let frame_decode_total_qcheck =
+  QCheck.Test.make ~count:3000 ~name:"Frame.decode is total on hostile input"
+    (QCheck.make gen_hostile_frame ~print:(fun b ->
+         let buf = Buffer.create (2 * Bytes.length b) in
+         Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+         Buffer.contents buf))
+    (fun b ->
+      match Apor_deploy.Frame.decode b with Ok _ | Error _ -> true)
+
+let test_frame_hostile_owner () =
+  (* Regression: a link-state frame whose owner field points outside its
+     own snapshot used to raise Invalid_argument out of Snapshot.create. *)
+  let entries = [| Entry.unreachable; Entry.self |] in
+  let msg = Message.Link_state { view = 1; epoch = 1; snapshot = Snapshot.create ~owner:1 entries } in
+  let frame = Apor_deploy.Frame.encode ~src_port:3 msg in
+  (* layout: 6-byte frame header, then tag(1) view(4) epoch(4) owner(2) n(2) *)
+  Bytes.set_uint16_be frame (6 + 9) 9;
+  match Apor_deploy.Frame.decode frame with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range owner decoded"
+
 let () =
   Alcotest.run "apor_node_core"
     [
@@ -345,6 +396,8 @@ let () =
           QCheck_alcotest.to_alcotest codec_roundtrip_qcheck;
           Alcotest.test_case "edge cases" `Quick test_codec_edge_cases;
           Alcotest.test_case "frame codec" `Quick test_frame_roundtrip;
+          QCheck_alcotest.to_alcotest frame_decode_total_qcheck;
+          Alcotest.test_case "hostile owner field" `Quick test_frame_hostile_owner;
         ] );
       ( "core",
         [

@@ -42,6 +42,40 @@ let test_network_fail_node () =
   Network.recover_node net 2;
   check_int "recovered" 0 (Network.down_links net 2)
 
+(* Boundary semantics the chaos injector leans on. *)
+
+let test_network_total_loss_always_drops () =
+  let net = Network.create ~rtt_ms:two_node_rtt ~seed:5 () in
+  Network.set_loss net 0 1 1.0;
+  for _ = 1 to 500 do
+    check_bool "p=1 drops every packet" true
+      (Network.sample_delivery net ~src:0 ~dst:1 = None)
+  done;
+  Network.set_loss net 0 1 0.;
+  check_bool "p=0 delivers again" true (Network.sample_delivery net ~src:0 ~dst:1 <> None)
+
+let test_network_fail_idempotent () =
+  let rtt = Array.make_matrix 4 4 10. in
+  for i = 0 to 3 do rtt.(i).(i) <- 0. done;
+  let net = Network.create ~rtt_ms:rtt ~seed:1 () in
+  Network.fail_node net 2;
+  Network.fail_node net 2;
+  check_int "failing twice still counts 3 down links" 3 (Network.down_links net 2);
+  Network.recover_node net 2;
+  check_int "one recover undoes both" 0 (Network.down_links net 2)
+
+let test_network_recover_preserves_loss () =
+  let rtt = Array.make_matrix 3 3 10. in
+  for i = 0 to 2 do rtt.(i).(i) <- 0. done;
+  let net = Network.create ~rtt_ms:rtt ~seed:1 () in
+  Network.set_loss net 2 0 0.4;
+  Network.set_rtt_ms net 2 1 77.;
+  Network.fail_node net 2;
+  Network.recover_node net 2;
+  check_bool "links back up" true (Network.link_up net 2 0 && Network.link_up net 2 1);
+  check_float "custom loss survives fail/recover" 0.4 (Network.loss net 0 2);
+  check_float "custom rtt survives fail/recover" 77. (Network.rtt_ms net 1 2)
+
 let test_network_mutation () =
   let net = Network.create ~rtt_ms:two_node_rtt ~seed:1 () in
   Network.set_rtt_ms net 0 1 30.;
@@ -313,6 +347,11 @@ let () =
           Alcotest.test_case "down link drops" `Quick test_network_down_link_drops;
           Alcotest.test_case "loss rate" `Quick test_network_loss_rate;
           Alcotest.test_case "fail/recover node" `Quick test_network_fail_node;
+          Alcotest.test_case "total loss always drops" `Quick
+            test_network_total_loss_always_drops;
+          Alcotest.test_case "fail idempotent" `Quick test_network_fail_idempotent;
+          Alcotest.test_case "recover preserves loss/rtt" `Quick
+            test_network_recover_preserves_loss;
           Alcotest.test_case "mutation symmetric" `Quick test_network_mutation;
           Alcotest.test_case "rejects malformed" `Quick test_network_rejects_malformed;
         ] );

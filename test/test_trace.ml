@@ -229,6 +229,29 @@ let test_oracle_failover_grace () =
   feed oracle [ applied (20. +. staleness_s +. 10.) ];
   check_int "stale failover server flagged again" 2 (Oracle.violation_count oracle)
 
+let test_oracle_violations_outside () =
+  (* same invalid application as the failover test, at two times; the
+     window filter must excuse exactly the covered one *)
+  let oracle = Oracle.create ~raise_on_violation:false ~metric ~staleness_s () in
+  let applied time =
+    ( time,
+      Event.Rec_applied { node = 0; server = 5; dst = 8; hop = 4; view = 1; local = false }
+    )
+  in
+  feed oracle
+    (List.init 9 (fun node -> (0., Event.View_installed { node; view = 1; size = 9 })));
+  feed oracle [ applied 1.; applied 50. ];
+  check_int "two violations recorded" 2 (Oracle.violation_count oracle);
+  let outside = Oracle.violations_outside oracle ~windows:[ (0., 10.) ] in
+  check_int "t=50 falls outside" 1 (List.length outside);
+  check_bool "it is the late one" true
+    (match outside with [ v ] -> v.Oracle.time = 50. | _ -> false);
+  check_int "both windows covered"
+    0
+    (List.length (Oracle.violations_outside oracle ~windows:[ (0., 10.); (45., 60.) ]));
+  check_int "no windows excuses nothing" 2
+    (List.length (Oracle.violations_outside oracle ~windows:[]))
+
 let check_engine_traffic oracle traffic ~now =
   Oracle.check_traffic oracle ~n:(Traffic.n traffic)
     ~accounted:(fun node ->
@@ -462,6 +485,8 @@ let () =
           Alcotest.test_case "catches intersection violation" `Quick
             test_oracle_catches_intersection_violation;
           Alcotest.test_case "failover grace window" `Quick test_oracle_failover_grace;
+          Alcotest.test_case "violations outside windows" `Quick
+            test_oracle_violations_outside;
           Alcotest.test_case "traffic conservation" `Quick
             test_traffic_conservation_synthetic;
         ] );
