@@ -24,6 +24,7 @@ let experiments ~quick ~seed ~trace ~json ~jobs =
     ("availability", fun () -> Experiments.availability ~quick ~seed);
     ("quorum-compare", fun () -> Experiments.quorum_compare ());
     ("chaos", fun () -> Experiments.chaos ~quick ~seed);
+    ("dataplane", fun () -> Dataplane.run ~quick ~seed);
     ("ablation", fun () -> Ablation.run ~seed);
     ("micro", fun () -> Micro.run ?json ~jobs ~quick ~seed ());
   ]

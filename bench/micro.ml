@@ -252,7 +252,7 @@ let progress fmt =
       Mutex.unlock print_lock)
     fmt
 
-let write_json ~path ~seed ~jobs ~runs ~oracle =
+let write_json ~path ~seed ~jobs ~runs ~oracle ~(dataplane : Dataplane.sim_point) =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -278,6 +278,13 @@ let write_json ~path ~seed ~jobs ~runs ~oracle =
         (if i = List.length runs - 1 then "" else ","))
     runs;
   p "  ],\n";
+  p
+    "  \"dataplane\": { \"n\": %d, \"sim_s\": %g, \"datagrams_sent\": %d, \
+     \"datagrams_delivered\": %d, \"goodput_kbps\": %.2f, \"wall_s\": %.3f, \
+     \"datagrams_per_wall_s\": %.0f },\n"
+    dataplane.Dataplane.dp_n dataplane.Dataplane.dp_sim_s dataplane.Dataplane.dp_sent
+    dataplane.Dataplane.dp_delivered dataplane.Dataplane.dp_goodput_kbps
+    dataplane.Dataplane.dp_wall_s dataplane.Dataplane.dp_dgrams_per_wall_s;
   p
     "  \"oracle\": { \"n\": %d, \"mode\": \"delta\", \"sim_s\": %g, \
      \"violations\": %d, \"recommendations_checked\": %d }\n"
@@ -350,7 +357,9 @@ let scaling ?json ~quick ~jobs ~seed () =
   (match json with
   | None -> ()
   | Some path ->
-      write_json ~path ~seed ~jobs ~runs ~oracle;
+      Printf.printf "\nmeasuring data-plane throughput for the baseline row...\n%!";
+      let dataplane = Dataplane.measure_sim ~n:49 ~seed ~duration_s:60. in
+      write_json ~path ~seed ~jobs ~runs ~oracle ~dataplane;
       Printf.printf "\nwrote %s\n" path)
 
 let run ?json ?(jobs = 1) ~quick ~seed () =

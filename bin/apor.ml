@@ -409,6 +409,139 @@ let chaos_cmd =
     Term.(
       const run_chaos $ scenario $ runtime $ json $ base_port $ time_scale $ verbose)
 
+(* --- traffic ----------------------------------------------------------------- *)
+
+let run_traffic runtime n seed duration shape rate payload hotspot closed window think
+    churn base_port json =
+  let module Workload = Apor_dataplane.Workload in
+  let module Run = Apor_dataplane.Run in
+  let shape =
+    match Workload.parse_shape shape with
+    | Ok s -> s
+    | Error e ->
+        Format.eprintf "traffic: %s@." e;
+        exit 2
+  in
+  let matrix =
+    match hotspot with
+    | None -> Workload.Uniform
+    | Some targets -> Workload.Hotspot { targets }
+  in
+  let mode =
+    if closed then Workload.Closed_loop { window; think_s = think } else Workload.Open_loop
+  in
+  let spec =
+    { Workload.shape; matrix; mode; rate_pps = rate; payload_bytes = payload }
+  in
+  let finish (r : Run.report) =
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc r.Run.json;
+        close_out oc;
+        Format.printf "wrote %s@." path
+    | None -> print_string r.Run.json);
+    Format.printf
+      "sent %d, delivered %d, goodput %.1f kbps; oracle violations %d (%d conservation)@."
+      r.Run.sent r.Run.delivered r.Run.goodput_kbps r.Run.violations
+      r.Run.conservation_violations;
+    if r.Run.conservation_violations > 0 then begin
+      Format.printf "FAILED: conservation violations@.";
+      exit 1
+    end
+  in
+  match runtime with
+  | `Sim -> finish (Run.run_sim ?n ~seed ?duration_s:duration ~spec ~churn ())
+  | `Udp -> (
+      match Run.run_udp ?n ~seed ?duration_s:duration ~base_port ~spec () with
+      | Error e when String.length e >= 7 && String.sub e 0 7 = "sockets" ->
+          Format.printf "traffic: %s; skipping@." e;
+          exit 0
+      | Error e ->
+          Format.eprintf "traffic: %s@." e;
+          exit 2
+      | Ok r ->
+          finish r;
+          if r.Run.goodput_kbps <= 0. then begin
+            Format.printf "FAILED: zero goodput over real sockets@.";
+            exit 1
+          end)
+
+let traffic_cmd =
+  let runtime =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("udp", `Udp) ]) `Sim
+      & info [ "runtime"; "r" ] ~docv:"RUNTIME"
+          ~doc:"Generate traffic on the simulator (sim) or over loopback UDP (udp).")
+  in
+  let n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Overlay size (default: 144 sim, 8 udp).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload and overlay seed.") in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration"; "d" ] ~docv:"SECONDS"
+          ~doc:"Traffic interval after warmup (default: 300 virtual sim, 6 wall udp).")
+  in
+  let shape =
+    Arg.(
+      value & opt string "constant"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Load shape: constant, diurnal[:period=S,trough=F], or \
+             flash[:at=S,dur=S,boost=F].")
+  in
+  let rate =
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"PPS" ~doc:"Aggregate datagrams per second.")
+  in
+  let payload =
+    Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Datagram payload size.")
+  in
+  let hotspot =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "hotspot" ] ~docv:"K"
+          ~doc:"Concentrate destinations on the first K nodes (default: uniform matrix).")
+  in
+  let closed =
+    Arg.(value & flag & info [ "closed" ] ~doc:"Closed-loop flows instead of open-loop arrivals.")
+  in
+  let window =
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"FLOWS" ~doc:"Concurrent closed-loop flows.")
+  in
+  let think =
+    Arg.(value & opt float 0.1 & info [ "think" ] ~docv:"SECONDS" ~doc:"Closed-loop think time.")
+  in
+  let churn =
+    Arg.(value & flag & info [ "churn" ] ~doc:"Install the PlanetLab failure profile (sim only).")
+  in
+  let base_port =
+    Arg.(
+      value & opt int 9400
+      & info [ "base-port" ] ~docv:"PORT" ~doc:"First UDP port (udp runtime).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the traffic report JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Drive user datagrams over the overlay's one-hop routes and report goodput, \
+          stretch and loss")
+    Term.(
+      const run_traffic $ runtime $ n $ seed $ duration $ shape $ rate $ payload $ hotspot
+      $ closed $ window $ think $ churn $ base_port $ json)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -416,4 +549,12 @@ let () =
        (Cmd.group ~default
           (Cmd.info "apor" ~version:"1.0.0"
              ~doc:"Scaling all-pairs overlay routing (CoNEXT 2009) toolbox")
-          [ grid_cmd; theory_cmd; emulate_cmd; detour_cmd; deploy_local_cmd; chaos_cmd ]))
+          [
+            grid_cmd;
+            theory_cmd;
+            emulate_cmd;
+            detour_cmd;
+            deploy_local_cmd;
+            chaos_cmd;
+            traffic_cmd;
+          ]))

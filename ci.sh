@@ -51,6 +51,25 @@ rm -f /tmp/apor-chaos-a.json /tmp/apor-chaos-b.json
 dune exec bin/apor.exe -- chaos --scenario examples/chaos/smoke.scn \
   --runtime udp --base-port 9500
 
+# Data-plane smoke (sim): a short churn run with the oracle attached;
+# the command itself exits 1 on any traffic- or datagram-conservation
+# violation. Run twice and diff the report JSONs: same seed must be
+# byte-identical (workload, metrics and oracle are all deterministic).
+dune exec bin/apor.exe -- traffic --runtime sim --n 24 --duration 60 --churn \
+  --json /tmp/apor-traffic-a.json > /dev/null
+dune exec bin/apor.exe -- traffic --runtime sim --n 24 --duration 60 --churn \
+  --json /tmp/apor-traffic-b.json > /dev/null
+cmp /tmp/apor-traffic-a.json /tmp/apor-traffic-b.json || {
+  echo "ci: traffic report JSON is not deterministic across identical runs" >&2
+  exit 1
+}
+rm -f /tmp/apor-traffic-a.json /tmp/apor-traffic-b.json
+
+# Data-plane smoke (udp): real datagrams over loopback sockets; the
+# command exits 1 on conservation violations or zero goodput, and exits
+# 0 with a skip notice in socket-less sandboxes.
+dune exec bin/apor.exe -- traffic --runtime udp --n 8 --duration 4 --base-port 9700
+
 # Documentation build (odoc). The libraries are private, so the pages live
 # under @doc-private. Skipped when odoc isn't installed (offline images).
 if command -v odoc >/dev/null 2>&1; then

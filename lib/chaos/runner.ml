@@ -64,6 +64,35 @@ module Acc = struct
   let subscribe acc collector = Collector.subscribe collector (fun tv -> observe acc tv)
 end
 
+(* Light background user workload every chaos run carries: its end-to-end
+   loss localizes the damage the availability probes only sample. *)
+let workload_spec =
+  {
+    Apor_dataplane.Workload.shape = Apor_dataplane.Workload.Constant;
+    matrix = Apor_dataplane.Workload.Uniform;
+    mode = Apor_dataplane.Workload.Open_loop;
+    rate_pps = 50.;
+    payload_bytes = 32;
+  }
+
+let user_loss_window_s = 10. (* scenario seconds *)
+
+let user_loss_of ~metrics ~time_scale ~t1 =
+  let module M = Apor_dataplane.Metrics in
+  if M.sent metrics = 0 then None
+  else
+    let worst = M.worst_window metrics in
+    Some
+      {
+        Score.user_sent = M.sent metrics;
+        user_delivered = M.delivered metrics;
+        loss_overall = M.loss_overall metrics;
+        worst_window_loss = Option.map fst worst;
+        worst_window_t0 = Option.map (fun (_, w0) -> w0 /. time_scale) worst;
+        (* payload per scenario second: wall goodput scaled back up *)
+        goodput_kbps = M.goodput_kbps metrics ~t1 *. time_scale;
+      }
+
 (* Availability sampling plan: each fault window is probed just before
    injection, twice inside (the during figure is the worst of the two),
    and once the grace period after it clears. *)
@@ -87,7 +116,7 @@ let probes_of (scn : Scenario.t) =
 (* Shared score assembly once the run is over. *)
 let assemble ~(scn : Scenario.t) ~runtime_name ~time_scale ~oracle ~(acc : Acc.t)
     ~avail_before ~avail_during ~avail_after ~staleness_samples ~pairs_recovered
-    ~transport =
+    ~user_loss ~transport =
   (* A violation is excused while a fault is active and for one grace
      window after it clears (times here are in run units — wall seconds
      on udp — like the oracle's). *)
@@ -132,6 +161,7 @@ let assemble ~(scn : Scenario.t) ~runtime_name ~time_scale ~oracle ~(acc : Acc.t
       pairs_recovered;
       oracle_checks =
         Oracle.recommendations_checked oracle + Oracle.applications_checked oracle;
+      user_loss;
       transport;
     }
   in
@@ -173,6 +203,13 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
       Injector.install_sim (Cluster.engine cluster)
         ?coordinator_port:(Cluster.coordinator_port cluster) scn;
       Cluster.start cluster;
+      let metrics =
+        Apor_dataplane.Metrics.create ~window_s:user_loss_window_s ~t0:0.
+      in
+      let driver =
+        Apor_dataplane.Sim_driver.attach ~cluster ~spec:workload_spec ~seed:scn.seed
+          ~metrics ~trace ()
+      in
       let availability () =
         let ok = ref 0 in
         for src = 0 to scn.n - 1 do
@@ -225,10 +262,16 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
                   ~t1:(Cluster.now cluster +. 1.))
             0 Apor_sim.Traffic.all_classes)
         ~now:(Cluster.now cluster);
+      Apor_dataplane.Sim_driver.stop driver;
+      Oracle.check_datagrams oracle
+        ~sent:(Apor_dataplane.Sim_driver.sent driver)
+        ~delivered:(Apor_dataplane.Sim_driver.delivered driver)
+        ~now:(Cluster.now cluster);
+      let user_loss = user_loss_of ~metrics ~time_scale:1. ~t1:scn.horizon_s in
       Ok
         (assemble ~scn ~runtime_name:"sim" ~time_scale:1. ~oracle ~acc
            ~avail_before:before ~avail_during:during ~avail_after:after
-           ~staleness_samples:!staleness_samples ~pairs_recovered:!recovered
+           ~staleness_samples:!staleness_samples ~pairs_recovered:!recovered ~user_loss
            ~transport:None)
 
 (* --- real UDP ----------------------------------------------------------- *)
@@ -283,6 +326,15 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
               let inj = Injector.Udp.create scaled in
               Injector.Udp.attach inj udp;
               Udp.start udp;
+              let metrics =
+                Apor_dataplane.Metrics.create
+                  ~window_s:(user_loss_window_s *. time_scale)
+                  ~t0:(Udp.now udp)
+              in
+              let driver =
+                Apor_dataplane.Udp_driver.attach ~udp ~spec:workload_spec
+                  ~seed:scn.seed ~metrics ~trace ()
+              in
               let availability () =
                 let now = Udp.now udp in
                 let ok = ref 0 in
@@ -360,6 +412,12 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
               Oracle.check_traffic oracle ~n:scn.n
                 ~accounted:(fun node -> Udp.accounted_bytes udp node)
                 ~now;
+              Apor_dataplane.Udp_driver.stop driver;
+              Oracle.check_datagrams oracle
+                ~sent:(Apor_dataplane.Udp_driver.sent driver)
+                ~delivered:(Apor_dataplane.Udp_driver.delivered driver)
+                ~now;
+              let user_loss = user_loss_of ~metrics ~time_scale ~t1:now in
               let stats = Udp.stats udp in
               let overflow = ref 0 and refused = ref 0 and injected = ref 0 in
               for src = 0 to scn.n - 1 do
@@ -393,4 +451,4 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
                 (assemble ~scn ~runtime_name:"udp" ~time_scale ~oracle ~acc
                    ~avail_before:before ~avail_during:during ~avail_after:after
                    ~staleness_samples:!staleness_samples ~pairs_recovered:!recovered
-                   ~transport)))
+                   ~user_loss ~transport)))

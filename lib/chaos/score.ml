@@ -20,6 +20,15 @@ type transport = {
   undecodable : int;
 }
 
+type user_loss = {
+  user_sent : int;
+  user_delivered : int;
+  loss_overall : float;
+  worst_window_loss : float option;
+  worst_window_t0 : float option;
+  goodput_kbps : float;
+}
+
 type t = {
   scenario : string;
   runtime : string;
@@ -37,6 +46,7 @@ type t = {
   pairs_total : int;
   pairs_recovered : int;
   oracle_checks : int;
+  user_loss : user_loss option;
   transport : transport option;
 }
 
@@ -86,6 +96,16 @@ let transport_json = function
         tr.datagrams_sent tr.datagrams_received tr.send_retries tr.frames_dropped
         tr.dropped_overflow tr.dropped_refused tr.dropped_injected tr.undecodable
 
+let jfo = function None -> "null" | Some v -> jf v
+
+let user_loss_json = function
+  | None -> "null"
+  | Some u ->
+      Printf.sprintf
+        {|{"sent":%d,"delivered":%d,"loss_overall":%s,"worst_window_loss":%s,"worst_window_t0":%s,"goodput_kbps":%s}|}
+        u.user_sent u.user_delivered (jf u.loss_overall) (jfo u.worst_window_loss)
+        (jfo u.worst_window_t0) (jf u.goodput_kbps)
+
 let to_json t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -109,6 +129,8 @@ let to_json t =
        {|,"violations_total":%d,"violations_out_of_grace":%d,"pairs_total":%d,"pairs_recovered":%d,"oracle_checks":%d|}
        t.violations_total t.violations_out_of_grace t.pairs_total t.pairs_recovered
        t.oracle_checks);
+  Buffer.add_string buf
+    (Printf.sprintf {|,"user_loss":%s|} (user_loss_json t.user_loss));
   Buffer.add_string buf
     (Printf.sprintf {|,"transport":%s}|} (transport_json t.transport));
   Buffer.add_char buf '\n';
@@ -136,4 +158,13 @@ let pp ppf t =
   | None -> ());
   Format.fprintf ppf "  oracle: %d checks, %d violations (%d outside grace)@,"
     t.oracle_checks t.violations_total t.violations_out_of_grace;
+  (match t.user_loss with
+  | Some u ->
+      Format.fprintf ppf "  user traffic: %d/%d delivered (loss %.4f%s), %.1f kbps goodput@,"
+        u.user_delivered u.user_sent u.loss_overall
+        (match u.worst_window_loss with
+        | Some w -> Printf.sprintf ", worst window %.4f" w
+        | None -> "")
+        u.goodput_kbps
+  | None -> ());
   Format.fprintf ppf "  recovery: %d/%d pairs@]" t.pairs_recovered t.pairs_total

@@ -30,6 +30,20 @@ type transport = {
 }
 (** Real-socket loss accounting — UDP runs only. *)
 
+type user_loss = {
+  user_sent : int;  (** background user datagrams originated *)
+  user_delivered : int;
+  loss_overall : float;  (** [(sent - delivered) / sent] *)
+  worst_window_loss : float option;
+      (** loss of the worst 10-scenario-second send window *)
+  worst_window_t0 : float option;  (** its start, scenario seconds *)
+  goodput_kbps : float;  (** delivered payload per scenario second *)
+}
+(** What the faults cost {e user traffic}: a light background workload
+    rides every chaos run over the overlay's one-hop routes, and its
+    end-to-end loss localizes the damage the availability probes only
+    sample. *)
+
 type t = {
   scenario : string;
   runtime : string;  (** ["sim"] or ["udp"] *)
@@ -47,6 +61,7 @@ type t = {
   pairs_total : int;  (** ordered pairs, [n * (n-1)] *)
   pairs_recovered : int;  (** pairs holding a fresh route at the horizon *)
   oracle_checks : int;  (** recommendations + applications verified *)
+  user_loss : user_loss option;
   transport : transport option;  (** UDP runs only *)
 }
 

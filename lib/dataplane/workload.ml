@@ -1,0 +1,135 @@
+open Apor_util
+
+type shape =
+  | Constant
+  | Diurnal of { period_s : float; trough : float }
+  | Flash_crowd of { at_s : float; duration_s : float; boost : float }
+
+type matrix = Uniform | Hotspot of { targets : int }
+
+type mode = Open_loop | Closed_loop of { window : int; think_s : float }
+
+type spec = {
+  shape : shape;
+  matrix : matrix;
+  mode : mode;
+  rate_pps : float;
+  payload_bytes : int;
+}
+
+let default =
+  {
+    shape = Constant;
+    matrix = Uniform;
+    mode = Open_loop;
+    rate_pps = 200.;
+    payload_bytes = 64;
+  }
+
+let pi = 4. *. atan 1.
+
+let factor shape ~now =
+  match shape with
+  | Constant -> 1.
+  | Diurnal { period_s; trough } ->
+      trough +. ((1. -. trough) *. 0.5 *. (1. -. cos (2. *. pi *. now /. period_s)))
+  | Flash_crowd { at_s; duration_s; boost } ->
+      if now >= at_s && now < at_s +. duration_s then boost else 1.
+
+(* --- shape grammar ------------------------------------------------------- *)
+
+let parse_params s =
+  (* "k=v,k=v" -> assoc; duplicate keys keep the last occurrence *)
+  String.split_on_char ',' s
+  |> List.fold_left
+       (fun acc kv ->
+         match acc with
+         | Error _ as e -> e
+         | Ok acc -> (
+             match String.index_opt kv '=' with
+             | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+             | Some i ->
+                 let k = String.sub kv 0 i in
+                 let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                 (match float_of_string_opt v with
+                 | Some f -> Ok ((k, f) :: acc)
+                 | None -> Error (Printf.sprintf "bad number %S for %S" v k))))
+       (Ok [])
+
+let param ps key ~default = match List.assoc_opt key ps with Some v -> v | None -> default
+
+let parse_shape s =
+  let name, params =
+    match String.index_opt s ':' with
+    | None -> (s, Ok [])
+    | Some i ->
+        ( String.sub s 0 i,
+          parse_params (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  match params with
+  | Error e -> Error (Printf.sprintf "shape %S: %s" s e)
+  | Ok ps -> (
+      match name with
+      | "constant" ->
+          if ps = [] then Ok Constant else Error "shape constant takes no parameters"
+      | "diurnal" ->
+          let period_s = param ps "period" ~default:600. in
+          let trough = param ps "trough" ~default:0.2 in
+          if period_s <= 0. then Error "diurnal: period must be positive"
+          else if trough < 0. || trough > 1. then Error "diurnal: trough outside [0,1]"
+          else Ok (Diurnal { period_s; trough })
+      | "flash" ->
+          let at_s = param ps "at" ~default:60. in
+          let duration_s = param ps "dur" ~default:30. in
+          let boost = param ps "boost" ~default:5. in
+          if at_s < 0. || duration_s <= 0. || boost <= 0. then
+            Error "flash: at >= 0, dur > 0, boost > 0 required"
+          else Ok (Flash_crowd { at_s; duration_s; boost })
+      | other ->
+          Error (Printf.sprintf "unknown shape %S (constant|diurnal|flash)" other))
+
+let shape_to_string = function
+  | Constant -> "constant"
+  | Diurnal { period_s; trough } ->
+      Printf.sprintf "diurnal:period=%g,trough=%g" period_s trough
+  | Flash_crowd { at_s; duration_s; boost } ->
+      Printf.sprintf "flash:at=%g,dur=%g,boost=%g" at_s duration_s boost
+
+(* --- generator ----------------------------------------------------------- *)
+
+type t = { spec : spec; n : int; rng : Rng.t }
+
+let create ~spec ~n ~rng =
+  if n < 2 then invalid_arg "Workload.create: need at least two nodes";
+  if spec.rate_pps <= 0. then invalid_arg "Workload.create: rate must be positive";
+  if spec.payload_bytes < 0 || spec.payload_bytes > 0xFFFF then
+    invalid_arg "Workload.create: payload outside [0, 65535]";
+  (match spec.matrix with
+  | Hotspot { targets } when targets < 1 || targets > n ->
+      invalid_arg "Workload.create: hotspot targets outside [1, n]"
+  | _ -> ());
+  (match spec.mode with
+  | Closed_loop { window; think_s } when window < 1 || think_s < 0. ->
+      invalid_arg "Workload.create: closed loop needs window >= 1, think >= 0"
+  | _ -> ());
+  { spec; n; rng }
+
+let spec t = t.spec
+
+let next_delay t ~now =
+  let rate = t.spec.rate_pps *. Float.max 1e-6 (factor t.spec.shape ~now) in
+  Float.max 1e-9 (Rng.exponential t.rng ~mean:(1. /. rate))
+
+let pick_pair t =
+  let src = Rng.int t.rng t.n in
+  let dst =
+    match t.spec.matrix with
+    | Uniform ->
+        (* uniform over the other n-1 ports *)
+        let d = Rng.int t.rng (t.n - 1) in
+        if d >= src then d + 1 else d
+    | Hotspot { targets } ->
+        let d = Rng.int t.rng targets in
+        if d = src then (d + 1) mod t.n else d
+  in
+  (src, dst)

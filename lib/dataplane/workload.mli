@@ -1,0 +1,77 @@
+(** Seed-deterministic user-traffic generators.
+
+    A workload is described by a {!spec}: an aggregate offered load
+    ([rate_pps] datagrams per second at nominal intensity), a {!shape}
+    modulating that intensity over time, a {!matrix} choosing source and
+    destination, and a {!mode} — open loop (Poisson arrivals regardless
+    of delivery) or closed loop (a fixed window of flows, each waiting
+    for its previous datagram before thinking and sending again).
+
+    The generator owns a private {!Apor_util.Rng} stream, so two runs
+    with the same seed produce the same arrival times and pairs — the
+    byte-determinism regressions rely on it.
+
+    {b Load-shape grammar} (the CLI's [--shape]):
+    {v
+      constant
+      diurnal[:period=S,trough=F]       period 600 s, trough 0.2
+      flash[:at=S,dur=S,boost=F]        at 60 s, dur 30 s, boost 5
+    v} *)
+
+open Apor_util
+
+type shape =
+  | Constant
+  | Diurnal of { period_s : float; trough : float }
+      (** Sinusoid between [trough * rate] and [rate] with the given
+          period, starting at the trough. *)
+  | Flash_crowd of { at_s : float; duration_s : float; boost : float }
+      (** Nominal rate, multiplied by [boost] inside the window
+          [[at_s, at_s + duration_s)]. *)
+
+type matrix =
+  | Uniform  (** uniform source, uniform destination [<> src] *)
+  | Hotspot of { targets : int }
+      (** uniform source, destination uniform over ports
+          [0 .. targets-1] — an incast toward a few popular sinks. *)
+
+type mode =
+  | Open_loop
+  | Closed_loop of { window : int; think_s : float }
+      (** [window] concurrent flows; each sends one datagram, waits for
+          its delivery (or a timeout), thinks [think_s], repeats. *)
+
+type spec = {
+  shape : shape;
+  matrix : matrix;
+  mode : mode;
+  rate_pps : float;
+  payload_bytes : int;
+}
+
+val default : spec
+(** Constant, uniform, open loop, 200 datagrams/s, 64-byte payloads. *)
+
+val factor : shape -> now:float -> float
+(** Intensity multiplier at time [now] (1.0 for [Constant]). *)
+
+val parse_shape : string -> (shape, string) result
+(** The grammar above. *)
+
+val shape_to_string : shape -> string
+(** Deterministic rendering, inverse-parseable by {!parse_shape}. *)
+
+type t
+
+val create : spec:spec -> n:int -> rng:Rng.t -> t
+(** @raise Invalid_argument for [n < 2], a non-positive rate, or a
+    malformed spec (e.g. hotspot wider than the overlay). *)
+
+val spec : t -> spec
+
+val next_delay : t -> now:float -> float
+(** Open-loop inter-arrival draw: exponential with the current
+    shaped rate.  Strictly positive. *)
+
+val pick_pair : t -> int * int
+(** Draw [(src, dst)], [src <> dst], per the traffic matrix. *)

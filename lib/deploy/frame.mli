@@ -12,6 +12,12 @@
 val header_bytes : int
 (** 6. *)
 
+val magic : int
+(** First byte of every control frame (0xA9).  The UDP runtime classifies
+    arriving datagrams by it: anything else is handed to the data-plane
+    sink — so data-plane codecs must pick a different leading byte
+    ([lib/dataplane]'s packet magic is 0xDA). *)
+
 val encode : src_port:int -> Apor_overlay_core.Message.t -> bytes
 (** @raise Invalid_argument for an out-of-range source port or a payload
     over 64 KiB. *)

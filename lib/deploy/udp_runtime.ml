@@ -66,6 +66,10 @@ type stats = {
   mutable datagrams_received : int;
   mutable send_retries : int;
   mutable frames_dropped : int; (* retry budget exhausted or undecodable *)
+  mutable data_frames_sent : int;
+  mutable data_batches_sent : int;
+  mutable data_frames_dropped : int; (* injected drop or socket backpressure *)
+  mutable data_bytes_received : int;
 }
 
 type link_stats = {
@@ -86,6 +90,13 @@ type link = {
   queue : pending Queue.t;
   mutable reported_down : bool;
   lstats : link_stats;
+  (* Data-plane batch buffer: user datagram frames for this peer are
+     packed back to back into one reused buffer and shipped as a single
+     UDP datagram per loop turn (or when the next frame would overflow).
+     Allocated lazily — control-only runs never pay for it. *)
+  mutable dbuf : bytes;
+  mutable dlen : int;
+  mutable dframes : int;
 }
 
 type endpoint = {
@@ -111,6 +122,8 @@ type t = {
   recv_buf : bytes;
   stats : stats;
   trace : Apor_trace.Collector.t option;
+  mutable data_sink :
+    (now:float -> node:int -> wire_src:int -> buf:bytes -> len:int -> int) option;
   mutable fault : (now:float -> src:int -> dst:int -> frame_fate) option;
   mutable corrupt_cycle : int;
   seed : int;
@@ -118,6 +131,10 @@ type t = {
 }
 
 let max_attempts = 5
+
+(* Payload budget per data-plane batch datagram: conservative loopback
+   MTU so a batch never fragments. *)
+let data_mtu = 1400
 
 let emit t ev =
   match t.trace with Some tr -> Apor_trace.Collector.emit tr ev | None -> ()
@@ -174,6 +191,87 @@ let flush_link t ep link =
         link.lstats.dropped_refused <- link.lstats.dropped_refused + 1;
         report_link t ep link ~up:false
   done
+
+(* --- data-plane batches -------------------------------------------------- *)
+
+let flush_data t ep link =
+  if link.dlen > 0 then begin
+    (match Unix.sendto ep.fd link.dbuf 0 link.dlen [] link.addr with
+    | _written -> t.stats.data_batches_sent <- t.stats.data_batches_sent + 1
+    | exception
+        Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ENOBUFS | EINTR | ECONNREFUSED), _, _)
+      ->
+        (* Best-effort data: backpressure or a dead peer is honest loss,
+           never a retry queue — the metrics layer sees it as such. *)
+        t.stats.data_frames_dropped <- t.stats.data_frames_dropped + link.dframes);
+    link.dlen <- 0;
+    link.dframes <- 0
+  end
+
+let flush_data_batches t =
+  Array.iter
+    (fun ep -> if ep.alive then Array.iter (fun l -> flush_data t ep l) ep.links)
+    t.endpoints
+
+(* Reserve [size] bytes in [link]'s batch, flushing first when the frame
+   would overflow it; returns the write offset. *)
+let reserve_data t ep link size =
+  if Bytes.length link.dbuf = 0 then link.dbuf <- Bytes.create data_mtu;
+  if link.dlen + size > data_mtu then flush_data t ep link;
+  let pos = link.dlen in
+  link.dlen <- pos + size;
+  link.dframes <- link.dframes + 1;
+  pos
+
+let append_data_copy t ep link buf =
+  let size = Bytes.length buf in
+  let pos = reserve_data t ep link size in
+  Bytes.blit buf 0 link.dbuf pos size
+
+let send_data t ~src ~dst ~size ~fill =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Udp_runtime.send_data: port out of range";
+  if size <= 0 || size > data_mtu then
+    invalid_arg "Udp_runtime.send_data: size outside (0, mtu]";
+  let ep = t.endpoints.(src) in
+  if ep.alive then begin
+    (* Same convention as control frames: charge and trace the sender
+       before the fault fate — a lost frame still cost its sender. *)
+    ep.accounted_bytes <- ep.accounted_bytes + size;
+    emit t (Ev.Send { cls = Msgclass.Data; src; dst; bytes = size });
+    t.stats.data_frames_sent <- t.stats.data_frames_sent + 1;
+    let link = ep.links.(dst) in
+    let append () =
+      let pos = reserve_data t ep link size in
+      fill link.dbuf pos;
+      pos
+    in
+    match t.fault with
+    | None -> ignore (append ())
+    | Some fate -> (
+        match fate ~now:(Clock.now t.clock) ~src ~dst with
+        | Pass -> ignore (append ())
+        | Drop -> t.stats.data_frames_dropped <- t.stats.data_frames_dropped + 1
+        | Corrupt ->
+            let pos = append () in
+            Bytes.set_uint8 link.dbuf pos (Bytes.get_uint8 link.dbuf pos lxor 0xFF)
+        | Duplicate ->
+            ignore (append ());
+            ignore (append ())
+        | Delay d ->
+            let pos = append () in
+            let copy = Bytes.sub link.dbuf pos size in
+            link.dlen <- pos;
+            link.dframes <- link.dframes - 1;
+            Timers.add t.timers
+              ~at:(Clock.now t.clock +. Float.max 0. d)
+              (fun () -> if ep.alive then append_data_copy t ep link copy))
+  end
+
+let set_data_sink t sink = t.data_sink <- sink
+
+let schedule t ~delay f =
+  Timers.add t.timers ~at:(Clock.now t.clock +. Float.max 0. delay) f
 
 let pending_sends t =
   Array.exists
@@ -312,6 +410,9 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
                       dropped_refused = 0;
                       dropped_injected = 0;
                     };
+                  dbuf = Bytes.empty;
+                  dlen = 0;
+                  dframes = 0;
                 });
           covered = Array.make n false;
           covered_count = 0;
@@ -332,8 +433,18 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
       endpoints;
       recv_buf = Bytes.create 65536;
       stats =
-        { datagrams_sent = 0; datagrams_received = 0; send_retries = 0; frames_dropped = 0 };
+        {
+          datagrams_sent = 0;
+          datagrams_received = 0;
+          send_retries = 0;
+          frames_dropped = 0;
+          data_frames_sent = 0;
+          data_batches_sent = 0;
+          data_frames_dropped = 0;
+          data_bytes_received = 0;
+        };
       trace;
+      data_sink = None;
       fault = None;
       corrupt_cycle = 0;
       seed;
@@ -344,6 +455,7 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
   t
 
 let now t = Clock.now t.clock
+let n t = t.n
 
 let static_view t = Core.View.create ~version:1 ~members:(List.init t.n Fun.id)
 
@@ -375,6 +487,41 @@ let receive_ready t ready =
           let continue = ref true in
           while !continue do
             match Unix.recvfrom fd t.recv_buf 0 (Bytes.length t.recv_buf) [] with
+            | len, from
+              when t.data_sink <> None
+                   && (len = 0 || Bytes.get_uint8 t.recv_buf 0 <> Frame.magic) -> (
+                (* Not a control frame: a data-plane batch.  The sink
+                   parses the frames in place (the buffer is reused — it
+                   must not retain it) and reports how many bytes were
+                   valid; only those count toward conservation. *)
+                t.stats.datagrams_received <- t.stats.datagrams_received + 1;
+                match t.data_sink with
+                | Some sink ->
+                    let wire_src =
+                      match from with
+                      | Unix.ADDR_INET (_, udp) -> udp - t.base_port
+                      | _ -> -1
+                    in
+                    let consumed =
+                      sink ~now:(Clock.now t.clock) ~node:ep.port ~wire_src
+                        ~buf:t.recv_buf ~len
+                    in
+                    if consumed > 0 then begin
+                      ep.accounted_bytes <- ep.accounted_bytes + consumed;
+                      t.stats.data_bytes_received <-
+                        t.stats.data_bytes_received + consumed;
+                      let src =
+                        if wire_src >= 0 && wire_src < t.n then wire_src else ep.port
+                      in
+                      emit t
+                        (Ev.Deliver
+                           { cls = Msgclass.Data; src; dst = ep.port; bytes = consumed })
+                    end;
+                    if consumed < len then begin
+                      t.stats.frames_dropped <- t.stats.frames_dropped + 1;
+                      ep.undecodable <- ep.undecodable + 1
+                    end
+                | None -> ())
             | len, _from -> (
                 t.stats.datagrams_received <- t.stats.datagrams_received + 1;
                 match Frame.decode (Bytes.sub t.recv_buf 0 len) with
@@ -410,6 +557,7 @@ let run t ~duration =
     Array.iter
       (fun ep -> if ep.alive then Array.iter (fun l -> flush_link t ep l) ep.links)
       t.endpoints;
+    flush_data_batches t;
     let now = Clock.now t.clock in
     if now >= deadline then continue := false
     else begin
@@ -452,7 +600,12 @@ let kill_node t i =
     (* Close the socket: peers' subsequent sends surface ECONNREFUSED, the
        same evidence a really-crashed process leaves behind. *)
     (try Unix.close ep.fd with Unix.Unix_error _ -> ());
-    Array.iter (fun l -> Queue.clear l.queue) ep.links
+    Array.iter
+      (fun l ->
+        Queue.clear l.queue;
+        l.dlen <- 0;
+        l.dframes <- 0)
+      ep.links
   end
 
 let restart_node t i =

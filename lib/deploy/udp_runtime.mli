@@ -38,6 +38,11 @@ type stats = {
   mutable frames_dropped : int;
       (** Every frame that died in the transport: retry budget exhausted,
           peer socket gone, undecodable on arrival, or injected drop. *)
+  mutable data_frames_sent : int;  (** user datagrams handed to {!send_data} *)
+  mutable data_batches_sent : int;  (** UDP datagrams carrying data batches *)
+  mutable data_frames_dropped : int;
+      (** data frames eaten by the injector or socket backpressure *)
+  mutable data_bytes_received : int;  (** valid data-batch bytes consumed by the sink *)
 }
 
 type link_stats = {
@@ -81,6 +86,9 @@ val run : t -> duration:float -> unit
 val now : t -> float
 (** Seconds since [create] on the runtime's clock. *)
 
+val n : t -> int
+(** The node count the runtime was created with. *)
+
 val node_core : t -> int -> Apor_overlay_core.Node_core.t
 (** The [i]-th node's state machine, for queries.  After a restart this
     is the {e current} incarnation's core. *)
@@ -117,6 +125,43 @@ val restart_node : t -> int -> unit
     [Start] + [Install_view].  No-op when the node is alive. *)
 
 val node_alive : t -> int -> bool
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Arm a runtime-level timer (not tied to any node incarnation) — the
+    data-plane drivers' arrival and timeout clocks. *)
+
+(** {1 Data plane}
+
+    Transport hooks for [lib/dataplane]: user datagram frames are packed
+    back to back into one reused per-link buffer ({!data_mtu} bytes) and
+    shipped as a single UDP datagram per loop turn — zero-copy on the
+    send path, one [sendto] for many frames.  Data traffic is
+    best-effort end to end: backpressure or a dead peer drops the batch
+    (counted, never retried).  A receiving socket classifies datagrams
+    by first byte: the control {!Frame} magic goes to the protocol core,
+    anything else to the data sink. *)
+
+val data_mtu : int
+(** Batch buffer capacity; also the largest single frame {!send_data}
+    accepts. *)
+
+val send_data : t -> src:int -> dst:int -> size:int -> fill:(bytes -> int -> unit) -> unit
+(** Append one [size]-byte data frame to the [src -> dst] batch;
+    [fill buf pos] must write exactly [size] bytes at [pos].  The sender
+    is charged and a [Data]-class Send traced before the fault injector's
+    verdict, mirroring control frames; [fill] may run more than once
+    (frame duplication) — it must be a pure encoder.
+    @raise Invalid_argument out of range or [size] outside (0, mtu]. *)
+
+val set_data_sink :
+  t -> (now:float -> node:int -> wire_src:int -> buf:bytes -> len:int -> int) option -> unit
+(** Install the data-plane receiver.  Called once per arriving non-control
+    datagram with the receive buffer (reused — parse in place, do not
+    retain), the receiving node, and [wire_src] (the sending node derived
+    from the source UDP port, [-1] when unattributable).  Must return how
+    many leading bytes were valid data frames; only those are accounted
+    and traced as a [Data]-class Deliver, the remainder counts as
+    undecodable. *)
 
 val set_fault_injector :
   t -> (now:float -> src:int -> dst:int -> frame_fate) option -> unit

@@ -12,6 +12,7 @@ type t = {
   coordinator_port : int option;
   mutable next_data_id : int;
   deliveries : (int, float) Hashtbl.t; (* data packet id -> delivery time *)
+  dgram_sink : (now:float -> node:int -> Message.t -> unit) option ref;
 }
 
 let pad_matrix m extra ~fill =
@@ -73,7 +74,14 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ?scheduler ~seed 
      reads are populated below, before [create] returns. *)
   let runtimes : Runtime.t option array = Array.make n None in
   let coordinator_cell = ref None in
+  let dgram_sink = ref None in
   Engine.set_handler engine (fun ~dst ~src msg ->
+      match (msg, !dgram_sink) with
+      | Message.Dgram _, Some sink ->
+          (* User datagrams short-circuit to the data-plane forwarder;
+             they never enter the protocol state machines. *)
+          sink ~now:(Engine.now engine) ~node:dst msg
+      | _ ->
       if dst < n then begin
         match runtimes.(dst) with
         | Some rt -> Runtime.dispatch rt (Node_core.Deliver { src_port = src; msg })
@@ -121,7 +129,17 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ?scheduler ~seed 
     end
     else None
   in
-  { config; n; engine; nodes; coordinator; coordinator_port; next_data_id = 0; deliveries }
+  {
+    config;
+    n;
+    engine;
+    nodes;
+    coordinator;
+    coordinator_port;
+    next_data_id = 0;
+    deliveries;
+    dgram_sink;
+  }
 
 let n t = t.n
 let engine t = t.engine
@@ -186,3 +204,11 @@ let send_data_direct t ~src ~dst =
   id
 
 let data_delivered_at t id = Hashtbl.find_opt t.deliveries id
+
+let set_dgram_sink t sink = t.dgram_sink := Some sink
+
+let send_dgram t ~src ~dst msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Cluster.send_dgram: port out of range";
+  Engine.send t.engine ~cls:(Message.cls msg) ~src ~dst ~bytes:(Message.size_bytes msg)
+    msg

@@ -98,3 +98,15 @@ val send_data_direct : t -> src:int -> dst:int -> int
 
 val data_delivered_at : t -> int -> float option
 (** Virtual time a packet reached its destination, if it did. *)
+
+val set_dgram_sink : t -> (now:float -> node:int -> Message.t -> unit) -> unit
+(** Install the data-plane forwarder: every {!Message.Dgram} arriving at
+    any node is handed to [sink] at the transport boundary instead of the
+    node's protocol core.  [node] is the receiving port; the datagram's
+    addressing lives in the message itself.  [lib/dataplane] installs
+    this; at most one sink is active. *)
+
+val send_dgram : t -> src:int -> dst:int -> Message.t -> unit
+(** Put a user datagram on the virtual wire from [src] to [dst] (one
+    transport hop, normal loss/latency sampling and [Data]-class traffic
+    accounting).  @raise Invalid_argument out of range. *)

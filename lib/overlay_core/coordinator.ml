@@ -55,7 +55,8 @@ let handle_message t ~now ~src_port msg =
   | Message.Join _ | Message.Leave _
   | Message.Probe _ | Message.Probe_reply _ | Message.Link_state _
   | Message.Link_state_delta _ | Message.Ls_resync _
-  | Message.Recommend _ | Message.View _ | Message.Data _ | Message.Relay _ ->
+  | Message.Recommend _ | Message.View _ | Message.Data _ | Message.Relay _
+  | Message.Dgram _ ->
       ()
 
 let on_sweep_timer t ~now =

@@ -13,8 +13,17 @@ type t =
   | View of { version : int; members : Nodeid.t list }
   | Data of { id : int; origin : Nodeid.t; dst : Nodeid.t; ttl : int }
   | Relay of { origin : Nodeid.t; target : Nodeid.t; inner : t }
+  | Dgram of {
+      id : int;
+      origin : Nodeid.t;
+      dst : Nodeid.t;
+      hops : int;
+      sent_at_us : int;
+      payload : int;
+    }
 
 let data_payload_bytes = 64
+let dgram_header_bytes = 19
 
 let rec size_bytes = function
   | Probe _ | Probe_reply _ -> Overhead.probe_bytes
@@ -28,12 +37,13 @@ let rec size_bytes = function
   | View { members; _ } -> Overhead.membership_view_bytes ~n:(List.length members)
   | Data _ -> Overhead.header_bytes + data_payload_bytes
   | Relay { inner; _ } -> Overhead.header_bytes + size_bytes inner
+  | Dgram { payload; _ } -> dgram_header_bytes + payload
 
 let rec cls = function
   | Probe _ | Probe_reply _ -> Msgclass.Probe
   | Link_state _ | Link_state_delta _ | Ls_resync _ | Recommend _ -> Msgclass.Routing
   | Join _ | Leave _ | View _ -> Msgclass.Membership
-  | Data _ -> Msgclass.Data
+  | Data _ | Dgram _ -> Msgclass.Data
   | Relay { inner; _ } -> cls inner
 
 let rec equal a b =
@@ -66,8 +76,12 @@ let rec equal a b =
   | ( Relay { origin = o1; target = t1; inner = i1 },
       Relay { origin = o2; target = t2; inner = i2 } ) ->
       o1 = o2 && t1 = t2 && equal i1 i2
+  | ( Dgram { id = i1; origin = o1; dst = d1; hops = h1; sent_at_us = s1; payload = p1 },
+      Dgram { id = i2; origin = o2; dst = d2; hops = h2; sent_at_us = s2; payload = p2 } )
+    ->
+      i1 = i2 && o1 = o2 && d1 = d2 && h1 = h2 && s1 = s2 && p1 = p2
   | ( ( Probe _ | Probe_reply _ | Link_state _ | Link_state_delta _ | Ls_resync _
-      | Recommend _ | Join _ | Leave _ | View _ | Data _ | Relay _ ),
+      | Recommend _ | Join _ | Leave _ | View _ | Data _ | Relay _ | Dgram _ ),
       _ ) ->
       false
 
@@ -91,6 +105,7 @@ let tag_leave = 7
 let tag_view = 8
 let tag_data = 9
 let tag_relay = 10
+let tag_dgram = 11
 
 let u16_max = 0xFFFF
 let u32_max = 0xFFFFFFFF
@@ -160,6 +175,16 @@ let rec encode_into b = function
       put_u16 b origin;
       put_u16 b target;
       encode_into b inner
+  | Dgram { id; origin; dst; hops; sent_at_us; payload } ->
+      put_u8 b tag_dgram;
+      put_u32 b id;
+      put_u16 b origin;
+      put_u16 b dst;
+      put_u8 b hops;
+      (* 48-bit microsecond timestamp: high 16 then low 32 *)
+      put_u16 b (sent_at_us lsr 32);
+      put_u32 b (sent_at_us land u32_max);
+      put_u16 b payload
 
 let encode msg =
   let b = Buffer.create 64 in
@@ -250,6 +275,15 @@ let decode buf =
         match go () with
         | Ok inner -> Ok (Relay { origin; target; inner })
         | Error _ as e -> e)
+    | tag when tag = tag_dgram ->
+        let id = u32 () in
+        let origin = u16 () in
+        let dst = u16 () in
+        let hops = u8 () in
+        let hi = u16 () in
+        let lo = u32 () in
+        let payload = u16 () in
+        Ok (Dgram { id; origin; dst; hops; sent_at_us = (hi lsl 32) lor lo; payload })
     | tag -> Error (Printf.sprintf "Message.decode: unknown tag %d" tag)
   in
   match go () with
@@ -280,3 +314,5 @@ let rec pp ppf = function
       Format.fprintf ppf "data#%d(%d->%d, ttl=%d)" id origin dst ttl
   | Relay { origin; target; inner } ->
       Format.fprintf ppf "relay(%d=>%d, %a)" origin target pp inner
+  | Dgram { id; origin; dst; hops; payload; _ } ->
+      Format.fprintf ppf "dgram#%d(%d->%d, hops=%d, %dB)" id origin dst hops payload

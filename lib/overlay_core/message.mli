@@ -41,10 +41,28 @@ type t =
           rendezvous server/client has failed.  The intermediary forwards
           [inner] to [target]; the receiver processes it as if it came
           from [origin]. *)
+  | Dgram of {
+      id : int;
+      origin : Nodeid.t;
+      dst : Nodeid.t;
+      hops : int;  (** overlay forwards so far (0 at the origin) *)
+      sent_at_us : int;  (** origination time, microseconds, 48-bit *)
+      payload : int;  (** application payload length in bytes *)
+    }
+      (** A data-plane user datagram ([lib/dataplane]).  Unlike [Data] —
+          the legacy availability probe forwarded inside the node core —
+          [Dgram] is intercepted at the transport boundary by the
+          data-plane forwarder and never enters the protocol state
+          machine; the core only models its byte cost. *)
 
 val data_payload_bytes : int
 (** Synthetic application payload size (64 bytes — a VoIP-frame-sized
     packet). *)
+
+val dgram_header_bytes : int
+(** Modeled wire-header cost of a [Dgram], matching the real data-plane
+    packet header ({!section:lib/dataplane} [Packet.header_bytes]): the
+    simulator charges [dgram_header_bytes + payload] per datagram. *)
 
 val size_bytes : t -> int
 

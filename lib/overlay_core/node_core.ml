@@ -206,6 +206,11 @@ let rec deliver t ~src_port msg =
       else if origin = src_port then
         (* we are the temporary one-hop: forward directly, exactly once *)
         push t.buf (Send { dst_port = target; msg })
+  | Message.Dgram _ ->
+      (* User datagrams are handled by the data-plane forwarder at the
+         transport boundary; one reaching the protocol core means no
+         forwarder is installed, and best-effort semantics say drop. *)
+      ()
 
 let apply t input =
   match (input : input) with

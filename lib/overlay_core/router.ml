@@ -660,7 +660,7 @@ let handle_message t ~now ~src_port msg =
   | Message.Ls_resync { view; owner } -> handle_ls_resync t ~now ~src_port ~view ~owner
   | Message.Recommend { view; entries } -> handle_recommend t ~now ~src_port ~view entries
   | Message.Probe _ | Message.Probe_reply _ | Message.Join _ | Message.Leave _
-  | Message.View _ | Message.Data _ | Message.Relay _ ->
+  | Message.View _ | Message.Data _ | Message.Relay _ | Message.Dgram _ ->
       ()
 
 let on_peer_death t ~now ~port:_ =

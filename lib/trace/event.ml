@@ -14,6 +14,10 @@ module Kind = struct
     | Failover_started
     | Failover_stopped
     | View_installed
+    | Dgram_sent
+    | Dgram_forwarded
+    | Dgram_delivered
+    | Dgram_dropped
 
   let engine = [ Send; Deliver; Drop ]
 
@@ -29,7 +33,8 @@ module Kind = struct
       View_installed;
     ]
 
-  let all = engine @ protocol
+  let dataplane = [ Dgram_sent; Dgram_forwarded; Dgram_delivered; Dgram_dropped ]
+  let all = engine @ protocol @ dataplane
 
   let to_string = function
     | Send -> "send"
@@ -43,6 +48,10 @@ module Kind = struct
     | Failover_started -> "failover-started"
     | Failover_stopped -> "failover-stopped"
     | View_installed -> "view-installed"
+    | Dgram_sent -> "dgram-sent"
+    | Dgram_forwarded -> "dgram-forwarded"
+    | Dgram_delivered -> "dgram-delivered"
+    | Dgram_dropped -> "dgram-dropped"
 end
 
 type stop_reason = Recovered | Exhausted | Destination_dead
@@ -71,6 +80,10 @@ type t =
   | Failover_started of { node : Nodeid.t; dst : Nodeid.t; server : Nodeid.t; view : int }
   | Failover_stopped of { node : Nodeid.t; dst : Nodeid.t; view : int; reason : stop_reason }
   | View_installed of { node : Nodeid.t; view : int; size : int }
+  | Dgram_sent of { id : int; origin : int; dst : int; hop : int option }
+  | Dgram_forwarded of { id : int; node : int; dst : int }
+  | Dgram_delivered of { id : int; node : int; hops : int }
+  | Dgram_dropped of { id : int; node : int; reason : string }
 
 let kind : t -> Kind.t = function
   | Send _ -> Kind.Send
@@ -84,6 +97,10 @@ let kind : t -> Kind.t = function
   | Failover_started _ -> Kind.Failover_started
   | Failover_stopped _ -> Kind.Failover_stopped
   | View_installed _ -> Kind.View_installed
+  | Dgram_sent _ -> Kind.Dgram_sent
+  | Dgram_forwarded _ -> Kind.Dgram_forwarded
+  | Dgram_delivered _ -> Kind.Dgram_delivered
+  | Dgram_dropped _ -> Kind.Dgram_dropped
 
 let involves ev id =
   match ev with
@@ -97,6 +114,11 @@ let involves ev id =
   | Failover_started { node; dst; server; _ } -> node = id || dst = id || server = id
   | Failover_stopped { node; dst; _ } -> node = id || dst = id
   | View_installed { node; _ } -> node = id
+  | Dgram_sent { origin; dst; hop; _ } ->
+      origin = id || dst = id || hop = Some id
+  | Dgram_forwarded { node; dst; _ } -> node = id || dst = id
+  | Dgram_delivered { node; _ } -> node = id
+  | Dgram_dropped { node; _ } -> node = id
 
 let cls_to_string = Msgclass.to_string
 
@@ -133,6 +155,15 @@ let pp ppf = function
         (reason_to_string reason)
   | View_installed { node; view; size } ->
       Format.fprintf ppf "view-installed(v%d, rank %d of %d)" view node size
+  | Dgram_sent { id; origin; dst; hop } ->
+      Format.fprintf ppf "dgram-sent(#%d, %d->%d%s)" id origin dst
+        (match hop with None -> "" | Some h -> Printf.sprintf " via %d" h)
+  | Dgram_forwarded { id; node; dst } ->
+      Format.fprintf ppf "dgram-forwarded(#%d, at %d for %d)" id node dst
+  | Dgram_delivered { id; node; hops } ->
+      Format.fprintf ppf "dgram-delivered(#%d, at %d, %d hops)" id node hops
+  | Dgram_dropped { id; node; reason } ->
+      Format.fprintf ppf "dgram-dropped(#%d, at %d, %s)" id node reason
 
 let json_kind ev = Printf.sprintf "\"kind\":%S" (Kind.to_string (kind ev))
 
@@ -173,3 +204,13 @@ let to_json ev =
         node dst view (reason_to_string reason)
   | View_installed { node; view; size } ->
       Printf.sprintf "%s,\"node\":%d,\"view\":%d,\"size\":%d" (json_kind ev) node view size
+  | Dgram_sent { id; origin; dst; hop } ->
+      Printf.sprintf "%s,\"id\":%d,\"origin\":%d,\"dst\":%d,\"hop\":%s" (json_kind ev) id
+        origin dst
+        (match hop with None -> "null" | Some h -> string_of_int h)
+  | Dgram_forwarded { id; node; dst } ->
+      Printf.sprintf "%s,\"id\":%d,\"node\":%d,\"dst\":%d" (json_kind ev) id node dst
+  | Dgram_delivered { id; node; hops } ->
+      Printf.sprintf "%s,\"id\":%d,\"node\":%d,\"hops\":%d" (json_kind ev) id node hops
+  | Dgram_dropped { id; node; reason } ->
+      Printf.sprintf "%s,\"id\":%d,\"node\":%d,\"reason\":%S" (json_kind ev) id node reason

@@ -29,6 +29,10 @@ module Kind : sig
     | Failover_started
     | Failover_stopped
     | View_installed
+    | Dgram_sent
+    | Dgram_forwarded
+    | Dgram_delivered
+    | Dgram_dropped
 
   val all : t list
 
@@ -36,7 +40,12 @@ module Kind : sig
   (** [Send], [Deliver], [Drop] — the high-volume layer. *)
 
   val protocol : t list
-  (** Everything else — what the invariant oracle consumes. *)
+  (** The quorum-routing layer — what the invariant oracle's first two
+      checks consume. *)
+
+  val dataplane : t list
+  (** User-datagram lifecycle events emitted by [lib/dataplane] — what
+      the oracle's datagram-conservation check consumes. *)
 
   val to_string : t -> string
 end
@@ -91,6 +100,19 @@ type t =
   | View_installed of { node : Nodeid.t; view : int; size : int }
       (** [node]'s router rebuilt its state for a view of [size] members;
           [node] is its rank therein. *)
+  | Dgram_sent of { id : int; origin : int; dst : int; hop : int option }
+      (** The data plane originated user datagram [id] at [origin] for
+          [dst]; [hop] is the recommended intermediate it was routed
+          through ([None] = sent direct).  Port space. *)
+  | Dgram_forwarded of { id : int; node : int; dst : int }
+      (** Intermediate [node] relayed the datagram on toward [dst]. *)
+  | Dgram_delivered of { id : int; node : int; hops : int }
+      (** The datagram reached its destination [node] after [hops]
+          overlay forwards (0 = direct). *)
+  | Dgram_dropped of { id : int; node : int; reason : string }
+      (** The data plane itself discarded the datagram at [node] (hop
+          budget exhausted, socket backpressure, …) — network losses show
+          up as engine [Drop]s or simply as silence instead. *)
 
 val kind : t -> Kind.t
 

@@ -3,7 +3,11 @@ open Apor_linkstate
 open Apor_quorum
 open Apor_core
 
-type check = Quorum_intersection | One_hop_optimality | Traffic_conservation
+type check =
+  | Quorum_intersection
+  | One_hop_optimality
+  | Traffic_conservation
+  | Datagram_conservation
 
 type violation = { time : float; check : check; detail : string }
 
@@ -22,6 +26,9 @@ type mirror = { mutable mview : int; rows : (Nodeid.t, mirror_row) Hashtbl.t }
    staleness window after that. *)
 type target = { mutable active : int; mutable last_end : float }
 
+(* One user datagram's lifecycle, rebuilt from the data-plane events. *)
+type dgram = { ddst : int; mutable delivered : bool }
+
 type t = {
   raise_on_violation : bool;
   slack_s : float;
@@ -32,6 +39,9 @@ type t = {
   episodes : (Nodeid.t * Nodeid.t, Nodeid.t) Hashtbl.t; (* (node, dst) -> server *)
   targets : (Nodeid.t * Nodeid.t, target) Hashtbl.t; (* (node, server) *)
   bytes : (int, int ref) Hashtbl.t; (* node -> traced bytes in + out *)
+  dgrams : (int, dgram) Hashtbl.t; (* datagram id -> lifecycle *)
+  mutable dgrams_sent : int;
+  mutable dgrams_delivered : int;
   mutable violations : violation list; (* newest first *)
   mutable recommendations_checked : int;
   mutable applications_checked : int;
@@ -49,6 +59,9 @@ let create ?(raise_on_violation = true) ?(slack_s = 5.) ~metric ~staleness_s () 
     episodes = Hashtbl.create 16;
     targets = Hashtbl.create 16;
     bytes = Hashtbl.create 64;
+    dgrams = Hashtbl.create 1024;
+    dgrams_sent = 0;
+    dgrams_delivered = 0;
     violations = [];
     recommendations_checked = 0;
     applications_checked = 0;
@@ -58,6 +71,7 @@ let check_name = function
   | Quorum_intersection -> "quorum-intersection"
   | One_hop_optimality -> "one-hop-optimality"
   | Traffic_conservation -> "traffic-conservation"
+  | Datagram_conservation -> "datagram-conservation"
 
 let pp_violation ppf v =
   Format.fprintf ppf "t=%.3f [%s] %s" v.time (check_name v.check) v.detail
@@ -228,6 +242,39 @@ let observe t (tv : Collector.timed) =
   | Event.Failover_started { node; dst; server; _ } ->
       failover_started t ~now ~node ~dst ~server
   | Event.Failover_stopped { node; dst; _ } -> failover_stopped t ~now ~node ~dst
+  | Event.Dgram_sent { id; dst; _ } ->
+      if Hashtbl.mem t.dgrams id then
+        flag t ~time:now ~check:Datagram_conservation
+          (Printf.sprintf "datagram id %d originated twice" id)
+      else begin
+        Hashtbl.add t.dgrams id { ddst = dst; delivered = false };
+        t.dgrams_sent <- t.dgrams_sent + 1
+      end
+  | Event.Dgram_forwarded { id; node; _ } ->
+      if not (Hashtbl.mem t.dgrams id) then
+        flag t ~time:now ~check:Datagram_conservation
+          (Printf.sprintf "node %d forwarded datagram %d that was never sent" node id)
+  | Event.Dgram_delivered { id; node; _ } -> (
+      match Hashtbl.find_opt t.dgrams id with
+      | None ->
+          flag t ~time:now ~check:Datagram_conservation
+            (Printf.sprintf "node %d delivered datagram %d that was never sent" node id)
+      | Some d ->
+          if d.delivered then
+            flag t ~time:now ~check:Datagram_conservation
+              (Printf.sprintf "datagram %d delivered twice" id)
+          else if node <> d.ddst then
+            flag t ~time:now ~check:Datagram_conservation
+              (Printf.sprintf "datagram %d delivered at node %d but was addressed to %d"
+                 id node d.ddst)
+          else begin
+            d.delivered <- true;
+            t.dgrams_delivered <- t.dgrams_delivered + 1
+          end)
+  | Event.Dgram_dropped { id; node; _ } ->
+      if not (Hashtbl.mem t.dgrams id) then
+        flag t ~time:now ~check:Datagram_conservation
+          (Printf.sprintf "node %d dropped datagram %d that was never sent" node id)
 
 let attach t collector = Collector.subscribe collector (observe t)
 
@@ -242,6 +289,25 @@ let check_traffic t ~n ~accounted ~now =
         (Printf.sprintf "node %d: transport accounted %d bytes but the trace saw %d" node
            engine traced)
   done
+
+(* --- invariant 3b: datagram conservation -------------------------------- *)
+
+let dgrams_sent t = t.dgrams_sent
+let dgrams_delivered t = t.dgrams_delivered
+
+let check_datagrams t ~sent ~delivered ~now =
+  if t.dgrams_delivered > t.dgrams_sent then
+    flag t ~time:now ~check:Datagram_conservation
+      (Printf.sprintf "trace delivered %d datagrams but only %d were sent"
+         t.dgrams_delivered t.dgrams_sent);
+  if sent <> t.dgrams_sent then
+    flag t ~time:now ~check:Datagram_conservation
+      (Printf.sprintf "data plane claims %d datagrams sent but the trace saw %d" sent
+         t.dgrams_sent);
+  if delivered <> t.dgrams_delivered then
+    flag t ~time:now ~check:Datagram_conservation
+      (Printf.sprintf "data plane claims %d datagrams delivered but the trace saw %d"
+         delivered t.dgrams_delivered)
 
 (* --- static grid cover --------------------------------------------------- *)
 

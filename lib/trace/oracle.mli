@@ -39,7 +39,16 @@
 open Apor_linkstate
 open Apor_quorum
 
-type check = Quorum_intersection | One_hop_optimality | Traffic_conservation
+type check =
+  | Quorum_intersection
+  | One_hop_optimality
+  | Traffic_conservation
+  | Datagram_conservation
+      (** Invariant 3b, the data-plane analogue of traffic conservation:
+          every user datagram delivered was sent exactly once, at its
+          addressed destination, and the data plane's own send/deliver
+          counters agree with the trace (checked per event plus on demand
+          via {!check_datagrams}). *)
 
 type violation = { time : float; check : check; detail : string }
 
@@ -90,6 +99,19 @@ val check_traffic : t -> n:int -> accounted:(int -> int) -> now:float -> unit
     {!Apor_sim.Traffic.bytes_in_range} summed over every class with
     [t1 = now + 1].  Records/raises a [Traffic_conservation] violation
     per disagreeing node. *)
+
+val dgrams_sent : t -> int
+(** [Dgram_sent] events accepted (unique ids). *)
+
+val dgrams_delivered : t -> int
+(** [Dgram_delivered] events accepted (first delivery at the addressed
+    destination). *)
+
+val check_datagrams : t -> sent:int -> delivered:int -> now:float -> unit
+(** Compare the data plane's own counters against the trace's: [sent] and
+    [delivered] must equal the number of [Dgram_sent] / [Dgram_delivered]
+    events the oracle accepted.  Records/raises a [Datagram_conservation]
+    violation per disagreement. *)
 
 val check_grid_cover : Grid.t -> (unit, string) result
 (** The static form of invariant 1, used by the property tests: every

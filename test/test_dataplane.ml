@@ -1,0 +1,341 @@
+(* lib/dataplane contracts:
+
+   - the Packet wire codec round-trips every field and is total on
+     hostile input (mirroring the control Frame fuzz suite) — batched
+     frames parse back to back and a corrupt frame stops the parse at a
+     frame boundary;
+   - Message.Dgram (the simulator carrier) round-trips through the
+     Message codec and converts losslessly to/from Packet;
+   - the workload generator is a pure function of its seed: same seed,
+     same arrival/pair stream; the shape grammar parses what
+     shape_to_string prints;
+   - metrics attribute loss to send windows and report the worst one;
+   - end to end on the simulator: a short oracle-attached run delivers
+     datagrams with zero conservation violations, and equal seeds
+     produce byte-identical report JSON. *)
+
+open Apor_util
+module Packet = Apor_dataplane.Packet
+module Workload = Apor_dataplane.Workload
+module Metrics = Apor_dataplane.Metrics
+module Run = Apor_dataplane.Run
+module Message = Apor_overlay_core.Message
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- packet codec -------------------------------------------------------- *)
+
+let gen_packet =
+  QCheck.Gen.(
+    let* id = int_range 0 0xFFFFFFFF in
+    let* origin = int_range 0 0xFFFF in
+    let* dst = int_range 0 0xFFFF in
+    let* hops = int_range 0 0xFF in
+    let* sent_at_us = int_range 0 0xFFFFFFFFFFFF in
+    let* payload_len = int_range 0 0xFFFF in
+    return { Packet.id; origin; dst; hops; sent_at_us; payload_len })
+
+let packet_roundtrip_qcheck =
+  QCheck.Test.make ~count:500 ~name:"Packet round-trips every field"
+    (QCheck.make gen_packet ~print:(Format.asprintf "%a" Packet.pp))
+    (fun p ->
+      match Packet.decode (Packet.encode p) with
+      | Ok q -> Packet.equal p q
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let small_packet =
+  QCheck.Gen.(
+    let* id = int_range 0 1000 in
+    let* origin = int_range 0 64 in
+    let* dst = int_range 0 64 in
+    let* hops = int_range 0 4 in
+    let* sent_at_us = int_range 0 1_000_000 in
+    let* payload_len = int_range 0 64 in
+    return { Packet.id; origin; dst; hops; sent_at_us; payload_len })
+
+let gen_hostile_packet =
+  QCheck.Gen.(
+    let arbitrary =
+      let* s = string_size (int_range 0 128) in
+      return (Bytes.of_string s)
+    in
+    let from_valid =
+      let* p = small_packet in
+      let buf = Packet.encode p in
+      let len = Bytes.length buf in
+      oneof
+        [
+          (let* cut = int_range 0 (len - 1) in
+           return (Bytes.sub buf 0 cut));
+          (let* pos = int_range 0 (len - 1) in
+           let* v = int_range 0 255 in
+           let b = Bytes.copy buf in
+           Bytes.set_uint8 b pos v;
+           return b);
+          (let* extra = string_size (int_range 1 16) in
+           return (Bytes.cat buf (Bytes.of_string extra)));
+        ]
+    in
+    oneof [ arbitrary; from_valid ])
+
+let packet_decode_total_qcheck =
+  QCheck.Test.make ~count:3000 ~name:"Packet.decode_from is total on hostile input"
+    (QCheck.make gen_hostile_packet ~print:(fun b ->
+         let buf = Buffer.create (2 * Bytes.length b) in
+         Bytes.iter
+           (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+           b;
+         Buffer.contents buf))
+    (fun b ->
+      match Packet.decode_from b ~pos:0 ~limit:(Bytes.length b) with
+      | Ok _ | Error _ -> true)
+
+let test_packet_truncation () =
+  let p =
+    { Packet.id = 7; origin = 1; dst = 2; hops = 0; sent_at_us = 42; payload_len = 16 }
+  in
+  let buf = Packet.encode p in
+  (* every proper prefix must fail cleanly *)
+  for cut = 0 to Bytes.length buf - 1 do
+    match Packet.decode_from buf ~pos:0 ~limit:cut with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" cut
+  done;
+  (* bad magic and bad version *)
+  let bad = Bytes.copy buf in
+  Bytes.set_uint8 bad 0 0xA9;
+  (match Packet.decode bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "control magic decoded as data");
+  let bad = Bytes.copy buf in
+  Bytes.set_uint8 bad 1 99;
+  match Packet.decode bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown version decoded"
+
+let test_packet_batch () =
+  let mk id =
+    { Packet.id; origin = id; dst = id + 1; hops = 1; sent_at_us = 1000 * id;
+      payload_len = 8 + id }
+  in
+  let ps = [ mk 1; mk 2; mk 3 ] in
+  let total = List.fold_left (fun s p -> s + Packet.size p) 0 ps in
+  let buf = Bytes.create total in
+  let _ =
+    List.fold_left
+      (fun pos p ->
+        Packet.encode_into p buf ~pos;
+        pos + Packet.size p)
+      0 ps
+  in
+  (* parse all three back to back *)
+  let rec parse pos acc =
+    if pos >= total then List.rev acc
+    else
+      match Packet.decode_from buf ~pos ~limit:total with
+      | Ok (p, next) -> parse next (p :: acc)
+      | Error e -> Alcotest.failf "batch parse failed at %d: %s" pos e
+  in
+  let out = parse 0 [] in
+  check_int "batch count" 3 (List.length out);
+  List.iter2 (fun a b -> check_bool "batch packet" true (Packet.equal a b)) ps out;
+  (* corrupt the second frame's magic: the parse stops there, keeping
+     the first frame — the consumed-prefix contract of the data sink *)
+  let cut = Packet.size (mk 1) in
+  Bytes.set_uint8 buf cut 0x00;
+  (match Packet.decode_from buf ~pos:0 ~limit:total with
+  | Ok (p, next) ->
+      check_bool "first frame survives" true (Packet.equal p (mk 1));
+      check_int "stops at corrupt frame" cut next
+  | Error e -> Alcotest.failf "first frame should parse: %s" e);
+  match Packet.decode_from buf ~pos:cut ~limit:total with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt frame decoded"
+
+let dgram_conversion_qcheck =
+  QCheck.Test.make ~count:500 ~name:"Packet <-> Message.Dgram is lossless"
+    (QCheck.make gen_packet ~print:(Format.asprintf "%a" Packet.pp))
+    (fun p ->
+      match Packet.of_dgram (Packet.to_dgram p) with
+      | Some q -> Packet.equal p q
+      | None -> false)
+
+let dgram_message_codec_qcheck =
+  QCheck.Test.make ~count:500 ~name:"Message.Dgram round-trips the Message codec"
+    (QCheck.make small_packet ~print:(Format.asprintf "%a" Packet.pp))
+    (fun p ->
+      let msg = Packet.to_dgram p in
+      match Message.decode (Message.encode msg) with
+      | Ok m -> Message.equal msg m
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+(* --- workload ------------------------------------------------------------ *)
+
+let test_shape_grammar () =
+  (match Workload.parse_shape "constant" with
+  | Ok Workload.Constant -> ()
+  | _ -> Alcotest.fail "constant");
+  (match Workload.parse_shape "diurnal:period=300,trough=0.5" with
+  | Ok (Workload.Diurnal { period_s; trough }) ->
+      check_bool "period" true (period_s = 300.);
+      check_bool "trough" true (trough = 0.5)
+  | _ -> Alcotest.fail "diurnal");
+  (match Workload.parse_shape "flash:at=10,dur=5,boost=3" with
+  | Ok (Workload.Flash_crowd { at_s = 10.; duration_s = 5.; boost = 3. }) -> ()
+  | _ -> Alcotest.fail "flash");
+  (* defaults *)
+  (match Workload.parse_shape "diurnal" with
+  | Ok (Workload.Diurnal { period_s = 600.; trough = 0.2 }) -> ()
+  | _ -> Alcotest.fail "diurnal defaults");
+  (* rejects *)
+  List.iter
+    (fun s ->
+      match Workload.parse_shape s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ "square"; "diurnal:period=0"; "diurnal:trough=2"; "flash:boost=-1";
+      "constant:x=1"; "diurnal:period=abc" ];
+  (* shape_to_string is inverse-parseable *)
+  List.iter
+    (fun sh ->
+      match Workload.parse_shape (Workload.shape_to_string sh) with
+      | Ok sh' -> check_bool "inverse parse" true (sh = sh')
+      | Error e -> Alcotest.failf "inverse parse failed: %s" e)
+    [
+      Workload.Constant;
+      Workload.Diurnal { period_s = 300.; trough = 0.25 };
+      Workload.Flash_crowd { at_s = 60.; duration_s = 30.; boost = 5. };
+    ]
+
+let test_workload_determinism () =
+  let mk () =
+    Workload.create ~spec:Workload.default ~n:20
+      ~rng:(Rng.split (Rng.make ~seed:42) "dataplane.workload")
+  in
+  let a = mk () and b = mk () in
+  for i = 0 to 999 do
+    let pa = Workload.pick_pair a and pb = Workload.pick_pair b in
+    if pa <> pb then Alcotest.failf "pair stream diverged at %d" i;
+    let da = Workload.next_delay a ~now:(float_of_int i)
+    and db = Workload.next_delay b ~now:(float_of_int i) in
+    if da <> db then Alcotest.failf "delay stream diverged at %d" i;
+    let src, dst = pa in
+    if src = dst || src < 0 || src >= 20 || dst < 0 || dst >= 20 then
+      Alcotest.failf "bad pair (%d, %d)" src dst
+  done
+
+let test_shape_factor () =
+  (* diurnal stays within [trough, 1] and hits both ends *)
+  let sh = Workload.Diurnal { period_s = 100.; trough = 0.3 } in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for i = 0 to 200 do
+    let f = Workload.factor sh ~now:(float_of_int i) in
+    if f < 0.3 -. 1e-9 || f > 1. +. 1e-9 then Alcotest.failf "diurnal factor %f" f;
+    lo := Float.min !lo f;
+    hi := Float.max !hi f
+  done;
+  check_bool "reaches trough" true (!lo < 0.31);
+  check_bool "reaches peak" true (!hi > 0.99);
+  let fl = Workload.Flash_crowd { at_s = 10.; duration_s = 5.; boost = 4. } in
+  check_bool "before flash" true (Workload.factor fl ~now:9.9 = 1.);
+  check_bool "inside flash" true (Workload.factor fl ~now:12. = 4.);
+  check_bool "after flash" true (Workload.factor fl ~now:15.1 = 1.)
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_metrics_windows () =
+  let m = Metrics.create ~window_s:10. ~t0:0. in
+  (* window 0: 4 sent, 4 delivered; window 1: 5 sent, 2 delivered *)
+  for i = 0 to 3 do
+    Metrics.record_sent m ~now:(float_of_int i);
+    Metrics.record_delivered m ~now:(float_of_int i +. 0.05)
+      ~sent_at:(float_of_int i) ~payload:100 ~direct_s:(Some 0.025) ~hops:1
+  done;
+  for i = 0 to 4 do
+    Metrics.record_sent m ~now:(12. +. float_of_int i)
+  done;
+  Metrics.record_delivered m ~now:13.1 ~sent_at:13. ~payload:100 ~direct_s:None ~hops:0;
+  (* a late delivery credits the window it was SENT in *)
+  Metrics.record_delivered m ~now:25. ~sent_at:14. ~payload:100 ~direct_s:None ~hops:0;
+  check_int "sent" 9 (Metrics.sent m);
+  check_int "delivered" 6 (Metrics.delivered m);
+  (match Metrics.worst_window m with
+  | Some (loss, w0) ->
+      check_bool "worst window loss" true (Float.abs (loss -. 0.6) < 1e-9);
+      check_bool "worst window start" true (w0 = 10.)
+  | None -> Alcotest.fail "no worst window");
+  check_bool "overall loss" true
+    (Float.abs (Metrics.loss_overall m -. (3. /. 9.)) < 1e-9);
+  (* goodput: 600 bytes over 20 s = 0.24 kbps *)
+  check_bool "goodput" true
+    (Float.abs (Metrics.goodput_kbps m ~t1:20. -. 0.24) < 1e-9);
+  (* stretch: latency 0.05 over direct 0.025 = 2.0, within bin resolution *)
+  match Metrics.stretch_percentile m 50. with
+  | Some s -> check_bool "stretch p50 near 2" true (s > 1.8 && s < 2.2)
+  | None -> Alcotest.fail "no stretch samples"
+
+let test_metrics_percentiles () =
+  let m = Metrics.create ~window_s:10. ~t0:0. in
+  (* 100 deliveries at 10 ms, 1 at 1 s: p50 near 0.01, p999 near 1 *)
+  for i = 0 to 99 do
+    let t = float_of_int i in
+    Metrics.record_sent m ~now:t;
+    Metrics.record_delivered m ~now:(t +. 0.01) ~sent_at:t ~payload:10 ~direct_s:None
+      ~hops:0
+  done;
+  Metrics.record_sent m ~now:200.;
+  Metrics.record_delivered m ~now:201. ~sent_at:200. ~payload:10 ~direct_s:None ~hops:0;
+  (match Metrics.latency_percentile m 50. with
+  | Some p -> check_bool "p50 near 10ms" true (p > 0.008 && p < 0.012)
+  | None -> Alcotest.fail "no p50");
+  match Metrics.latency_percentile m 99.9 with
+  | Some p -> check_bool "p999 near 1s" true (p > 0.8 && p < 1.25)
+  | None -> Alcotest.fail "no p999"
+
+(* --- end to end on the simulator ----------------------------------------- *)
+
+let small_spec = { Workload.default with Workload.rate_pps = 100. }
+
+let test_sim_smoke () =
+  let r = Run.run_sim ~n:16 ~seed:7 ~duration_s:40. ~spec:small_spec ~churn:true () in
+  check_bool "delivered datagrams" true (r.Run.delivered > 0);
+  check_bool "sent >= delivered" true (r.Run.sent >= r.Run.delivered);
+  check_int "conservation violations" 0 r.Run.conservation_violations;
+  check_bool "positive goodput" true (r.Run.goodput_kbps > 0.)
+
+let test_sim_deterministic_json () =
+  let go () = Run.run_sim ~n:12 ~seed:3 ~duration_s:30. ~spec:small_spec ~churn:true () in
+  let a = go () and b = go () in
+  check_bool "byte-identical JSON" true (String.equal a.Run.json b.Run.json)
+
+let () =
+  Alcotest.run "apor_dataplane"
+    [
+      ( "packet",
+        [
+          QCheck_alcotest.to_alcotest packet_roundtrip_qcheck;
+          QCheck_alcotest.to_alcotest packet_decode_total_qcheck;
+          Alcotest.test_case "truncation and bad header" `Quick test_packet_truncation;
+          Alcotest.test_case "batched frames" `Quick test_packet_batch;
+          QCheck_alcotest.to_alcotest dgram_conversion_qcheck;
+          QCheck_alcotest.to_alcotest dgram_message_codec_qcheck;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "shape grammar" `Quick test_shape_grammar;
+          Alcotest.test_case "seed determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "shape factor bounds" `Quick test_shape_factor;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "per-window loss" `Quick test_metrics_windows;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+        ] );
+      ( "run(sim)",
+        [
+          Alcotest.test_case "oracle-attached smoke" `Slow test_sim_smoke;
+          Alcotest.test_case "deterministic report JSON" `Slow
+            test_sim_deterministic_json;
+        ] );
+    ]
