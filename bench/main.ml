@@ -25,6 +25,7 @@ let experiments ~quick ~seed ~trace ~json ~jobs =
     ("quorum-compare", fun () -> Experiments.quorum_compare ());
     ("chaos", fun () -> Experiments.chaos ~quick ~seed);
     ("dataplane", fun () -> Dataplane.run ~quick ~seed);
+    ("membership", fun () -> Membership.run ~quick ~seed);
     ("ablation", fun () -> Ablation.run ~seed);
     ("micro", fun () -> Micro.run ?json ~jobs ~quick ~seed ());
   ]

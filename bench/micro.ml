@@ -252,7 +252,8 @@ let progress fmt =
       Mutex.unlock print_lock)
     fmt
 
-let write_json ~path ~seed ~jobs ~runs ~oracle ~(dataplane : Dataplane.sim_point) =
+let write_json ~path ~seed ~jobs ~runs ~oracle ~(dataplane : Dataplane.sim_point)
+    ~(membership : Membership.point list) =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -285,6 +286,21 @@ let write_json ~path ~seed ~jobs ~runs ~oracle ~(dataplane : Dataplane.sim_point
     dataplane.Dataplane.dp_n dataplane.Dataplane.dp_sim_s dataplane.Dataplane.dp_sent
     dataplane.Dataplane.dp_delivered dataplane.Dataplane.dp_goodput_kbps
     dataplane.Dataplane.dp_wall_s dataplane.Dataplane.dp_dgrams_per_wall_s;
+  p "  \"membership\": [\n";
+  List.iteri
+    (fun i (m : Membership.point) ->
+      p
+        "    { \"n\": %d, \"mode\": %S, \"joiners\": %d, \"join_mean_s\": %.3f, \
+         \"join_max_s\": %.3f,\n\
+        \      \"msgs_per_join\": %.1f, \"bytes_per_join\": %.0f, \
+         \"hot_node_msgs\": %.1f, \"hot_distinct\": %d }%s\n"
+        m.Membership.m_n m.Membership.m_mode m.Membership.m_joiners
+        m.Membership.m_join_mean_s m.Membership.m_join_max_s
+        m.Membership.m_msgs_per_join m.Membership.m_bytes_per_join
+        m.Membership.m_hot_node_msgs m.Membership.m_hot_distinct
+        (if i = List.length membership - 1 then "" else ","))
+    membership;
+  p "  ],\n";
   p
     "  \"oracle\": { \"n\": %d, \"mode\": \"delta\", \"sim_s\": %g, \
      \"violations\": %d, \"recommendations_checked\": %d }\n"
@@ -359,7 +375,14 @@ let scaling ?json ~quick ~jobs ~seed () =
   | Some path ->
       Printf.printf "\nmeasuring data-plane throughput for the baseline row...\n%!";
       let dataplane = Dataplane.measure_sim ~n:49 ~seed ~duration_s:60. in
-      write_json ~path ~seed ~jobs ~runs ~oracle ~dataplane;
+      Printf.printf "measuring membership admission cost for the baseline rows...\n%!";
+      let membership =
+        [
+          Membership.measure ~seed ~n:49 ~centralized:false ();
+          Membership.measure ~seed ~n:49 ~centralized:true ();
+        ]
+      in
+      write_json ~path ~seed ~jobs ~runs ~oracle ~dataplane ~membership;
       Printf.printf "\nwrote %s\n" path)
 
 let run ?json ?(jobs = 1) ~quick ~seed () =

@@ -360,9 +360,14 @@ let run_chaos scenario_file runtime json base_port time_scale verbose =
               outcome.Runner.violations
           end;
           if not outcome.Runner.passed then begin
+            let score = outcome.Runner.score in
             Format.printf "FAILED: %s@."
-              (if outcome.Runner.score.Apor_chaos.Score.violations_out_of_grace > 0 then
+              (if score.Apor_chaos.Score.violations_out_of_grace > 0 then
                  "invariant violations outside fault windows"
+               else if
+                 score.Apor_chaos.Score.joins_admitted
+                 < score.Apor_chaos.Score.joins_requested
+               then "join events refused or lost"
                else "pairs without a fresh route at the horizon");
             exit 1
           end;

@@ -51,6 +51,25 @@ rm -f /tmp/apor-chaos-a.json /tmp/apor-chaos-b.json
 dune exec bin/apor.exe -- chaos --scenario examples/chaos/smoke.scn \
   --runtime udp --base-port 9500
 
+# Decentralized membership gate: kill node 0 permanently at t=30 (the
+# node a centralized design would depend on), then admit two fresh
+# joiners through the quorum-write protocol. The command exits 1 on any
+# out-of-grace violation (including view agreement at the horizon) or a
+# refused join. Sim runs twice and the score JSONs must be
+# byte-identical; the udp replay does the same with real socket
+# closures and real joins (skips itself in socket-less sandboxes).
+dune exec bin/apor.exe -- chaos --scenario examples/chaos/coordinator_kill_forever.scn \
+  --runtime sim --json /tmp/apor-chaos-m-a.json > /dev/null
+dune exec bin/apor.exe -- chaos --scenario examples/chaos/coordinator_kill_forever.scn \
+  --runtime sim --json /tmp/apor-chaos-m-b.json > /dev/null
+cmp /tmp/apor-chaos-m-a.json /tmp/apor-chaos-m-b.json || {
+  echo "ci: membership chaos score JSON is not deterministic across identical runs" >&2
+  exit 1
+}
+rm -f /tmp/apor-chaos-m-a.json /tmp/apor-chaos-m-b.json
+dune exec bin/apor.exe -- chaos --scenario examples/chaos/coordinator_kill_forever.scn \
+  --runtime udp --base-port 9900
+
 # Data-plane smoke (sim): a short churn run with the oracle attached;
 # the command itself exits 1 on any traffic- or datagram-conservation
 # violation. Run twice and diff the report JSONs: same seed must be

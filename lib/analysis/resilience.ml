@@ -52,6 +52,9 @@ let render (score : Score.t) =
     score.oracle_checks score.violations_total score.violations_out_of_grace;
   Printf.bprintf buf "recovery: %d/%d pairs hold a fresh route at the horizon\n"
     score.pairs_recovered score.pairs_total;
+  if score.joins_requested > 0 then
+    Printf.bprintf buf "joins: %d/%d admitted\n" score.joins_admitted
+      score.joins_requested;
   (match score.transport with
   | None -> ()
   | Some tr ->

@@ -9,6 +9,8 @@ type action =
   | Region_set of { nodes : int list; down : bool }
   | Crash of int
   | Restart of int
+  | Kill of int
+  | Join of int
   | Coordinator_set of { down : bool }
   | Frame_on of { node : int; kind : Scenario.frame_kind; rate : float }
   | Frame_off of { node : int; kind : Scenario.frame_kind; rate : float }
@@ -26,6 +28,8 @@ let pp_action ppf = function
         (if down then "down" else "up")
   | Crash i -> Format.fprintf ppf "crash %d" i
   | Restart i -> Format.fprintf ppf "restart %d" i
+  | Kill i -> Format.fprintf ppf "kill %d (permanent)" i
+  | Join i -> Format.fprintf ppf "join %d" i
   | Coordinator_set { down } ->
       Format.fprintf ppf "coordinator %s" (if down then "down" else "up")
   | Frame_on { node; kind; rate } ->
@@ -45,6 +49,8 @@ let actions_of (ev : Scenario.event) =
   | Region_outage { nodes; _ } ->
       [ (t0, Region_set { nodes; down = true }); (t1, Region_set { nodes; down = false }) ]
   | Node_crash { node; _ } -> [ (t0, Crash node); (t1, Restart node) ]
+  | Node_kill { node } -> [ (t0, Kill node) ]
+  | Node_join { node } -> [ (t0, Join node) ]
   | Coordinator_outage _ ->
       [ (t0, Coordinator_set { down = true }); (t1, Coordinator_set { down = false }) ]
   | Frame_fault { node; kind; rate; _ } ->
@@ -91,11 +97,13 @@ end
 (* Simulator: every action becomes an engine timer rewriting the
    network. *)
 
-let install_sim (type msg) (engine : msg Apor_sim.Engine.t) ?coordinator_port
+let install_sim (type msg) (engine : msg Apor_sim.Engine.t) ?coordinator_port ?on_join
     (scn : Scenario.t) =
   let open Apor_sim in
   if Scenario.uses_coordinator scn && coordinator_port = None then
     invalid_arg "Injector.install_sim: scenario needs a coordinator but the cluster has none";
+  if Scenario.joins scn <> [] && on_join = None then
+    invalid_arg "Injector.install_sim: scenario has node-join events but no on_join callback";
   let net = Engine.network engine in
   let size = Network.size net in
   let downs = Downs.create () in
@@ -153,6 +161,14 @@ let install_sim (type msg) (engine : msg Apor_sim.Engine.t) ?coordinator_port
     | Region_set { nodes; down } -> List.iter (fun i -> node_shift i ~down) nodes
     | Crash i -> node_shift i ~down:true
     | Restart i -> node_shift i ~down:false
+    (* The simulator cannot unschedule a node's timers, so a permanent
+       kill is permanent isolation: the corpse keeps ticking into dead
+       links, which is indistinguishable from a crash to its peers. *)
+    | Kill i -> node_shift i ~down:true
+    | Join i -> (
+        match on_join with
+        | Some f -> f i
+        | None -> (* unreachable: checked above *) ())
     | Coordinator_set { down } -> (
         match coordinator_port with
         | Some p -> node_shift p ~down
@@ -257,6 +273,8 @@ module Udp = struct
           nodes
     | Crash i -> Runtime.kill_node runtime i
     | Restart i -> Runtime.restart_node runtime i
+    | Kill i -> Runtime.kill_node runtime i
+    | Join i -> Runtime.join_node runtime i
     | Coordinator_set _ ->
         invalid_arg "Injector.Udp.apply: the UDP runtime has no membership coordinator"
     | Frame_on { node; kind; rate } ->

@@ -21,6 +21,8 @@ type action =
   | Region_set of { nodes : int list; down : bool }
   | Crash of int
   | Restart of int
+  | Kill of int  (** permanent crash — no matching [Restart] ever comes *)
+  | Join of int  (** wake a pending joiner (decentralized membership) *)
   | Coordinator_set of { down : bool }
   | Frame_on of { node : int; kind : Scenario.frame_kind; rate : float }
   | Frame_off of { node : int; kind : Scenario.frame_kind; rate : float }
@@ -38,15 +40,22 @@ val windows : Scenario.t -> (float * float) list
 (** {1 Simulator} *)
 
 val install_sim :
-  'msg Apor_sim.Engine.t -> ?coordinator_port:int -> Scenario.t -> unit
+  'msg Apor_sim.Engine.t ->
+  ?coordinator_port:int ->
+  ?on_join:(int -> unit) ->
+  Scenario.t ->
+  unit
 (** Schedule every timeline action as an engine timer mutating the
     engine's {!Apor_sim.Network}.  Node crashes become network isolation
     (every link of the node down — the simulator keeps the core's state,
     so "restart" is a rejoin with memory; the UDP runtime does the real
-    thing).  [Frame_fault Corrupt] becomes equivalent loss on the node's
-    links; [Duplicate]/[Reorder] have no simulator analogue and are
-    ignored.  @raise Invalid_argument if the scenario contains a
-    coordinator outage and [coordinator_port] is [None]. *)
+    thing); a [Kill] is the same isolation, never lifted.  A [Join] calls
+    [on_join] (the runner passes [Cluster.join_node]).  [Frame_fault
+    Corrupt] becomes equivalent loss on the node's links;
+    [Duplicate]/[Reorder] have no simulator analogue and are ignored.
+    @raise Invalid_argument if the scenario contains a coordinator outage
+    and [coordinator_port] is [None], or node-join events and [on_join]
+    is. *)
 
 (** {1 Real UDP} *)
 
@@ -62,10 +71,10 @@ module Udp : sig
       reflecting the interpreter's current fault state. *)
 
   val apply : t -> Apor_deploy.Udp_runtime.t -> action -> unit
-  (** Apply one timeline action now.  [Crash]/[Restart] call the
-      runtime's kill/restart; everything else mutates interpreter state
-      read by the fate hook.  @raise Invalid_argument on
-      [Coordinator_set] — the UDP runtime has no coordinator. *)
+  (** Apply one timeline action now.  [Crash]/[Restart]/[Kill]/[Join]
+      call the runtime's kill/restart/join; everything else mutates
+      interpreter state read by the fate hook.  @raise Invalid_argument
+      on [Coordinator_set] — the UDP runtime has no coordinator. *)
 
   val link_blocked : t -> int -> int -> bool
   (** Is the (undirected) link currently forced down by a flap or region

@@ -115,8 +115,8 @@ let probes_of (scn : Scenario.t) =
 
 (* Shared score assembly once the run is over. *)
 let assemble ~(scn : Scenario.t) ~runtime_name ~time_scale ~oracle ~(acc : Acc.t)
-    ~avail_before ~avail_during ~avail_after ~staleness_samples ~pairs_recovered
-    ~user_loss ~transport =
+    ~avail_before ~avail_during ~avail_after ~staleness_samples ~pairs_total
+    ~pairs_recovered ~joins_admitted ~user_loss ~transport =
   (* A violation is excused while a fault is active and for one grace
      window after it clears (times here are in run units — wall seconds
      on udp — like the oracle's). *)
@@ -157,10 +157,12 @@ let assemble ~(scn : Scenario.t) ~runtime_name ~time_scale ~oracle ~(acc : Acc.t
       staleness_s = Stats.summarize (List.map to_scn staleness_samples);
       violations_total = Oracle.violation_count oracle;
       violations_out_of_grace = List.length out_of_grace;
-      pairs_total = scn.n * (scn.n - 1);
+      pairs_total;
       pairs_recovered;
       oracle_checks =
         Oracle.recommendations_checked oracle + Oracle.applications_checked oracle;
+      joins_requested = List.length (Scenario.joins scn);
+      joins_admitted;
       user_loss;
       transport;
     }
@@ -193,7 +195,9 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
       let acc = Acc.create () in
       Acc.subscribe acc trace;
       let membership =
-        if Scenario.uses_coordinator scn then Cluster.Coordinator { rtt_ms = 40. }
+        if Scenario.uses_membership scn then
+          Cluster.Dynamic { initial = scn.members; rtt_ms = 40. }
+        else if Scenario.uses_coordinator scn then Cluster.Coordinator { rtt_ms = 40. }
         else Cluster.Static
       in
       let cluster =
@@ -201,7 +205,8 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
           ~loss:topo.Apor_topology.Internet.loss ~membership ~trace ~seed:scn.seed ()
       in
       Injector.install_sim (Cluster.engine cluster)
-        ?coordinator_port:(Cluster.coordinator_port cluster) scn;
+        ?coordinator_port:(Cluster.coordinator_port cluster)
+        ~on_join:(Cluster.join_node cluster) scn;
       Cluster.start cluster;
       let metrics =
         Apor_dataplane.Metrics.create ~window_s:user_loss_window_s ~t0:0.
@@ -210,14 +215,22 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
         Apor_dataplane.Sim_driver.attach ~cluster ~spec:workload_spec ~seed:scn.seed
           ~metrics ~trace ()
       in
-      let availability () =
-        let ok = ref 0 in
-        for src = 0 to scn.n - 1 do
-          for dst = 0 to scn.n - 1 do
-            if src <> dst && Cluster.route_ok cluster ~src ~dst then incr ok
-          done
-        done;
-        float_of_int !ok /. float_of_int (scn.n * (scn.n - 1))
+      let availability ~time =
+        (* Only members alive at this instant count: a pending joiner or
+           a permanently killed node has no pairs to be unavailable. *)
+        let live = Scenario.live_at scn time in
+        let ok = ref 0 and total = ref 0 in
+        List.iter
+          (fun src ->
+            List.iter
+              (fun dst ->
+                if src <> dst then begin
+                  incr total;
+                  if Cluster.route_ok cluster ~src ~dst then incr ok
+                end)
+              live)
+          live;
+        if !total = 0 then 1. else float_of_int !ok /. float_of_int !total
       in
       let nwin = List.length scn.events in
       let before = Array.make nwin 1. in
@@ -226,7 +239,7 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
       List.iter
         (fun p ->
           if p.time > Cluster.now cluster then Cluster.run_until cluster p.time;
-          let a = availability () in
+          let a = availability ~time:p.time in
           (match p.which with
           | `Before -> before.(p.widx) <- a
           | `During -> during.(p.widx) <- Float.min during.(p.widx) a
@@ -239,18 +252,32 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
                | `After -> "after")))
         (probes_of scn);
       Cluster.run_until cluster scn.horizon_s;
+      let live_h = Scenario.live_at scn scn.horizon_s in
       let staleness_samples = ref [] in
       let recovered = ref 0 in
-      for src = 0 to scn.n - 1 do
-        for dst = 0 to scn.n - 1 do
-          if src <> dst then
-            match Cluster.freshness cluster ~src ~dst with
-            | Some age ->
-                staleness_samples := age :: !staleness_samples;
-                if age <= staleness_s then incr recovered
-            | None -> ()
-        done
-      done;
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if src <> dst then
+                match Cluster.freshness cluster ~src ~dst with
+                | Some age ->
+                    staleness_samples := age :: !staleness_samples;
+                    if age <= staleness_s then incr recovered
+                | None -> ())
+            live_h)
+        live_h;
+      Oracle.check_view_agreement oracle ~now:(Cluster.now cluster) ~grace_s:scn.grace_s
+        ~live:live_h;
+      let joins_admitted =
+        List.length
+          (List.filter
+             (fun (_, j) ->
+               match Apor_overlay.Node.current_view (Cluster.node cluster j) with
+               | Some v -> Apor_overlay_core.View.contains_port v j
+               | None -> false)
+             (Scenario.joins scn))
+      in
       let traffic = Cluster.traffic cluster in
       Oracle.check_traffic oracle
         ~n:(Apor_sim.Traffic.n traffic)
@@ -268,11 +295,12 @@ let run_sim ?params ?(progress = fun _ -> ()) (scn : Scenario.t) =
         ~delivered:(Apor_dataplane.Sim_driver.delivered driver)
         ~now:(Cluster.now cluster);
       let user_loss = user_loss_of ~metrics ~time_scale:1. ~t1:scn.horizon_s in
+      let m = List.length live_h in
       Ok
         (assemble ~scn ~runtime_name:"sim" ~time_scale:1. ~oracle ~acc
            ~avail_before:before ~avail_during:during ~avail_after:after
-           ~staleness_samples:!staleness_samples ~pairs_recovered:!recovered ~user_loss
-           ~transport:None)
+           ~staleness_samples:!staleness_samples ~pairs_total:(m * (m - 1))
+           ~pairs_recovered:!recovered ~joins_admitted ~user_loss ~transport:None)
 
 (* --- real UDP ----------------------------------------------------------- *)
 
@@ -303,6 +331,9 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
       Error "coordinator outages need the simulator: the UDP runtime has no coordinator"
   | Ok () -> (
       let config = deploy_config in
+      let membership =
+        if Scenario.uses_membership scn then `Dynamic scn.Scenario.members else `Static
+      in
       let scaled = Scenario.scale scn time_scale in
       let trace = Collector.create ~capacity:(1 lsl 18) () in
       let staleness_wall =
@@ -316,7 +347,7 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
       Oracle.attach oracle trace;
       let acc = Acc.create () in
       Acc.subscribe acc trace;
-      match Udp.create ~config ~n:scn.n ~base_port ~trace ~seed:scn.seed () with
+      match Udp.create ~config ~n:scn.n ~membership ~base_port ~trace ~seed:scn.seed () with
       | exception Unix.Unix_error (err, fn, _) ->
           Error (Printf.sprintf "sockets unavailable (%s in %s)" (Unix.error_message err) fn)
       | udp ->
@@ -335,27 +366,40 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
                 Apor_dataplane.Udp_driver.attach ~udp ~spec:workload_spec
                   ~seed:scn.seed ~metrics ~trace ()
               in
-              let availability () =
+              let availability ~time =
                 let now = Udp.now udp in
-                let ok = ref 0 in
-                for src = 0 to scn.n - 1 do
-                  for dst = 0 to scn.n - 1 do
-                    if src <> dst && Udp.node_alive udp src && Udp.node_alive udp dst
-                    then begin
-                      let direct_ok = not (Injector.Udp.link_blocked inj src dst) in
-                      match Node_core.best_hop (Udp.node_core udp src) ~now ~dst_port:dst with
-                      | None -> if direct_ok then incr ok
-                      | Some hop when hop = dst || hop = src -> if direct_ok then incr ok
-                      | Some hop ->
-                          if
-                            Udp.node_alive udp hop
-                            && (not (Injector.Udp.link_blocked inj src hop))
-                            && not (Injector.Udp.link_blocked inj hop dst)
-                          then incr ok
-                    end
-                  done
-                done;
-                float_of_int !ok /. float_of_int (scn.n * (scn.n - 1))
+                let live = Scenario.live_at scn time in
+                let ok = ref 0 and total = ref 0 in
+                List.iter
+                  (fun src ->
+                    List.iter
+                      (fun dst ->
+                        if src <> dst then begin
+                          incr total;
+                          (* a crashed member stays in the denominator —
+                             its pairs are unavailable, not out of scope *)
+                          if Udp.node_alive udp src && Udp.node_alive udp dst then begin
+                            let direct_ok =
+                              not (Injector.Udp.link_blocked inj src dst)
+                            in
+                            match
+                              Node_core.best_hop (Udp.node_core udp src) ~now
+                                ~dst_port:dst
+                            with
+                            | None -> if direct_ok then incr ok
+                            | Some hop when hop = dst || hop = src ->
+                                if direct_ok then incr ok
+                            | Some hop ->
+                                if
+                                  Udp.node_alive udp hop
+                                  && (not (Injector.Udp.link_blocked inj src hop))
+                                  && not (Injector.Udp.link_blocked inj hop dst)
+                                then incr ok
+                          end
+                        end)
+                      live)
+                  live;
+                if !total = 0 then 1. else float_of_int !ok /. float_of_int !total
               in
               let nwin = List.length scn.events in
               let before = Array.make nwin 1. in
@@ -383,7 +427,7 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
                         (Format.asprintf "t=%7.2fs %a" (Udp.now udp) Injector.pp_action a);
                       Injector.Udp.apply inj udp a
                   | `Probe p ->
-                      let a = availability () in
+                      let a = availability ~time:p.time in
                       (match p.which with
                       | `Before -> before.(p.widx) <- a
                       | `During -> during.(p.widx) <- Float.min during.(p.widx) a
@@ -395,20 +439,34 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
               let remaining = scaled.Scenario.horizon_s -. Udp.now udp in
               if remaining > 0. then Udp.run udp ~duration:remaining;
               let now = Udp.now udp in
+              let live_h = Scenario.live_at scn scn.horizon_s in
               let staleness_samples = ref [] in
               let recovered = ref 0 in
-              for src = 0 to scn.n - 1 do
-                for dst = 0 to scn.n - 1 do
-                  if src <> dst then
-                    match
-                      Node_core.freshness (Udp.node_core udp src) ~now ~dst_port:dst
-                    with
-                    | Some age ->
-                        staleness_samples := age :: !staleness_samples;
-                        if age <= staleness_wall then incr recovered
-                    | None -> ()
-                done
-              done;
+              List.iter
+                (fun src ->
+                  List.iter
+                    (fun dst ->
+                      if src <> dst then
+                        match
+                          Node_core.freshness (Udp.node_core udp src) ~now ~dst_port:dst
+                        with
+                        | Some age ->
+                            staleness_samples := age :: !staleness_samples;
+                            if age <= staleness_wall then incr recovered
+                        | None -> ())
+                    live_h)
+                live_h;
+              Oracle.check_view_agreement oracle ~now
+                ~grace_s:(scn.grace_s *. time_scale) ~live:live_h;
+              let joins_admitted =
+                List.length
+                  (List.filter
+                     (fun (_, j) ->
+                       match Node_core.current_view (Udp.node_core udp j) with
+                       | Some v -> Apor_overlay_core.View.contains_port v j
+                       | None -> false)
+                     (Scenario.joins scn))
+              in
               Oracle.check_traffic oracle ~n:scn.n
                 ~accounted:(fun node -> Udp.accounted_bytes udp node)
                 ~now;
@@ -447,8 +505,9 @@ let run_udp ?(base_port = 9300) ?(time_scale = default_time_scale)
                     undecodable = !undecodable;
                   }
               in
+              let m = List.length live_h in
               Ok
                 (assemble ~scn ~runtime_name:"udp" ~time_scale ~oracle ~acc
                    ~avail_before:before ~avail_during:during ~avail_after:after
-                   ~staleness_samples:!staleness_samples ~pairs_recovered:!recovered
-                   ~user_loss ~transport)))
+                   ~staleness_samples:!staleness_samples ~pairs_total:(m * (m - 1))
+                   ~pairs_recovered:!recovered ~joins_admitted ~user_loss ~transport)))

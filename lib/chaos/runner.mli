@@ -28,8 +28,10 @@ val run_sim :
   (outcome, string) result
 (** Replay on the simulator: synthetic Internet from the scenario's
     [(seed, n)], paper-default quorum configuration, membership
-    coordinator only when the scenario needs one.  Fully deterministic —
-    same scenario, same bytes out of {!Score.to_json}. *)
+    coordinator only when the scenario needs one, decentralized
+    [Dynamic] membership when it declares members/kill/join events.
+    Fully deterministic — same scenario, same bytes out of
+    {!Score.to_json}. *)
 
 val run_udp :
   ?base_port:int ->
@@ -42,6 +44,8 @@ val run_udp :
     the deploy 0.5 s routing interval to the paper's 15 s) multiplies
     every scenario time; scores are converted back to scenario seconds.
     Node crashes close real sockets and restarts boot fresh cores that
-    rejoin.  Errors: coordinator outages (the UDP runtime has no
-    coordinator) and socket-less environments ([Error] with the errno
-    text — callers treat it as a skip, matching [apor deploy-local]). *)
+    rejoin; membership scenarios run the runtime's [`Dynamic] mode, so
+    kills are real socket closures and joins real quorum admissions.
+    Errors: coordinator outages (the UDP runtime has no coordinator) and
+    socket-less environments ([Error] with the errno text — callers
+    treat it as a skip, matching [apor deploy-local]). *)

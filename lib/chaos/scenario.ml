@@ -8,6 +8,8 @@ type fault =
   | Latency_spike of { a : int; b : int; factor : float; duration_s : float }
   | Region_outage of { nodes : int list; duration_s : float }
   | Node_crash of { node : int; down_s : float }
+  | Node_kill of { node : int }
+  | Node_join of { node : int }
   | Coordinator_outage of { duration_s : float }
   | Frame_fault of { node : int; kind : frame_kind; rate : float; duration_s : float }
 
@@ -16,6 +18,7 @@ type event = { at : float; fault : fault }
 type t = {
   name : string;
   n : int;
+  members : int;
   seed : int;
   warmup_s : float;
   horizon_s : float;
@@ -43,12 +46,13 @@ let sample ~rng ~k ~t0 ~t1 gen =
   let times = List.sort compare times in
   List.map (fun t -> { at = t; fault = gen rng }) times
 
-let make ~name ~n ~seed ?(warmup_s = 120.) ?(horizon_s = 600.) ?(grace_s = 45.)
+let make ~name ~n ?members ~seed ?(warmup_s = 120.) ?(horizon_s = 600.) ?(grace_s = 45.)
     ?(require_recovery = true) groups =
+  let members = match members with Some m -> m | None -> n in
   let events =
     List.stable_sort (fun a b -> compare a.at b.at) (List.concat groups)
   in
-  { name; n; seed; warmup_s; horizon_s; grace_s; require_recovery; events }
+  { name; n; members; seed; warmup_s; horizon_s; grace_s; require_recovery; events }
 
 (* Derived *)
 
@@ -61,6 +65,7 @@ let duration_of = function
   | Frame_fault { duration_s; _ } ->
       duration_s
   | Node_crash { down_s; _ } -> down_s
+  | Node_kill _ | Node_join _ -> 0.
 
 let clears_at ev = ev.at +. duration_of ev.fault
 
@@ -68,6 +73,32 @@ let last_clear t = List.fold_left (fun acc ev -> Float.max acc (clears_at ev)) 0
 
 let uses_coordinator t =
   List.exists (fun ev -> match ev.fault with Coordinator_outage _ -> true | _ -> false) t.events
+
+let uses_membership t =
+  t.members < t.n
+  || List.exists
+       (fun ev -> match ev.fault with Node_kill _ | Node_join _ -> true | _ -> false)
+       t.events
+
+let live_at t time =
+  let live = Array.make t.n false in
+  for i = 0 to t.members - 1 do
+    live.(i) <- true
+  done;
+  List.iter
+    (fun ev ->
+      if ev.at <= time then
+        match ev.fault with
+        | Node_kill { node } -> live.(node) <- false
+        | Node_join { node } -> live.(node) <- true
+        | _ -> ())
+    t.events;
+  List.filter (fun i -> live.(i)) (List.init t.n Fun.id)
+
+let joins t =
+  List.filter_map
+    (fun ev -> match ev.fault with Node_join { node } -> Some (ev.at, node) | _ -> None)
+    t.events
 
 let scale t factor =
   let f fault =
@@ -77,6 +108,7 @@ let scale t factor =
     | Latency_spike r -> Latency_spike { r with duration_s = r.duration_s *. factor }
     | Region_outage r -> Region_outage { r with duration_s = r.duration_s *. factor }
     | Node_crash r -> Node_crash { r with down_s = r.down_s *. factor }
+    | (Node_kill _ | Node_join _) as f -> f
     | Coordinator_outage r -> Coordinator_outage { duration_s = r.duration_s *. factor }
     | Frame_fault r -> Frame_fault { r with duration_s = r.duration_s *. factor }
   in
@@ -134,6 +166,12 @@ let validate t =
     | Node_crash { node; down_s } ->
         let* () = check_node "node-crash" node in
         check_pos "node-crash" down_s
+    | Node_kill { node } -> check_node "node-kill" node
+    | Node_join { node } ->
+        if node < t.members || node >= t.n then
+          err "node-join: node %d is not a pending joiner (members %d, n %d)" node
+            t.members t.n
+        else Ok ()
     | Coordinator_outage { duration_s } -> check_pos "coordinator-outage" duration_s
     | Frame_fault { node; kind = _; rate; duration_s } ->
         let* () = check_node "frame fault" node in
@@ -150,13 +188,49 @@ let validate t =
           err "event at t=%g fires past the %gs horizon" ev.at t.horizon_s
         else check_events rest
   in
+  (* Replay of kill/join effects on the initial member set, in event
+     order: a kill must hit a live member, a join a still-pending one. *)
+  let check_membership () =
+    let live = Array.make (Int.max t.n 1) false in
+    for i = 0 to Int.min t.members t.n - 1 do
+      live.(i) <- true
+    done;
+    let rec go = function
+      | [] -> Ok ()
+      | ev :: rest -> (
+          match ev.fault with
+          | Node_kill { node } ->
+              if not live.(node) then
+                err "node-kill at t=%g: node %d is not live there" ev.at node
+              else begin
+                live.(node) <- false;
+                go rest
+              end
+          | Node_join { node } ->
+              if live.(node) then
+                err "node-join at t=%g: node %d is already a member" ev.at node
+              else begin
+                live.(node) <- true;
+                go rest
+              end
+          | _ -> go rest)
+    in
+    go t.events
+  in
   if t.n < 2 then err "scenario needs n >= 2 nodes (got %d)" t.n
+  else if t.members < 2 || t.members > t.n then
+    err "members %d outside [2, n=%d]" t.members t.n
   else if t.warmup_s < 0. then err "negative warmup %g" t.warmup_s
   else if t.horizon_s <= t.warmup_s then
     err "horizon %g must exceed warmup %g" t.horizon_s t.warmup_s
   else if t.grace_s < 0. then err "negative grace %g" t.grace_s
+  else if uses_coordinator t && uses_membership t then
+    err
+      "coordinator-outage cannot be combined with decentralized membership \
+       (members/node-kill/node-join)"
   else
     let* () = check_events t.events in
+    let* () = check_membership () in
     if t.require_recovery && t.events <> [] && last_clear t +. t.grace_s > t.horizon_s then
       err
         "last fault clears at t=%g; recovery needs %gs of grace but the horizon is %g \
@@ -180,6 +254,8 @@ let pp_fault ppf = function
         (String.concat "," (List.map string_of_int nodes))
         duration_s
   | Node_crash { node; down_s } -> Format.fprintf ppf "node-crash %d down %gs" node down_s
+  | Node_kill { node } -> Format.fprintf ppf "node-kill %d (permanent)" node
+  | Node_join { node } -> Format.fprintf ppf "node-join %d" node
   | Coordinator_outage { duration_s } ->
       Format.fprintf ppf "coordinator-outage for %gs" duration_s
   | Frame_fault { node; kind; rate; duration_s } ->
@@ -265,6 +341,10 @@ let parse_fault rng n = function
       Region_outage { nodes = List.rev nodes; duration_s = floatv "duration" d }
   | List [ Atom "node-crash"; i; d ] ->
       Node_crash { node = node rng n i; down_s = floatv "downtime" d }
+  (* kill/join targets are explicit: a wildcard draw could hit a pending
+     joiner (kill) or a live member (join) and fail validation by luck *)
+  | List [ Atom "node-kill"; i ] -> Node_kill { node = intv "node id" i }
+  | List [ Atom "node-join"; i ] -> Node_join { node = intv "node id" i }
   | List [ Atom "coordinator-outage"; d ] ->
       Coordinator_outage { duration_s = floatv "duration" d }
   | List [ Atom ("frame-corrupt" | "frame-duplicate" | "frame-reorder" as which); i; p; d ]
@@ -299,6 +379,7 @@ let of_string input =
       try
         let name = ref None
         and n = ref None
+        and members = ref None
         and seed = ref None
         and warmup = ref 120.
         and horizon = ref 600.
@@ -307,6 +388,7 @@ let of_string input =
         let header = function
           | Sexp.List [ Sexp.Atom "name"; v ] -> name := Some (atomv "name" v)
           | List [ Atom "n"; v ] -> n := Some (intv "n" v)
+          | List [ Atom "members"; v ] -> members := Some (intv "members" v)
           | List [ Atom "seed"; v ] -> seed := Some (intv "seed" v)
           | List [ Atom "warmup"; v ] -> warmup := floatv "warmup" v
           | List [ Atom "horizon"; v ] -> horizon := floatv "horizon" v
@@ -333,8 +415,8 @@ let of_string input =
         let rng = Rng.split (Rng.make ~seed) "scenario.wildcards" in
         let groups = List.map (parse_event rng n) event_forms in
         let t =
-          make ~name ~n ~seed ~warmup_s:!warmup ~horizon_s:!horizon ~grace_s:!grace
-            ~require_recovery:!require_recovery groups
+          make ~name ~n ?members:!members ~seed ~warmup_s:!warmup ~horizon_s:!horizon
+            ~grace_s:!grace ~require_recovery:!require_recovery groups
         in
         match validate t with Ok () -> Ok t | Error e -> Error e
       with Parse msg -> Error msg)

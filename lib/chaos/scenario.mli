@@ -31,6 +31,12 @@ type fault =
       (** correlated failure: every link touching the region goes down *)
   | Node_crash of { node : int; down_s : float }
       (** crash + restart-with-rejoin after [down_s] *)
+  | Node_kill of { node : int }
+      (** permanent crash — the node never comes back (decentralized
+          membership: the survivors keep running without it) *)
+  | Node_join of { node : int }
+      (** a pending joiner (port in [\[members, n)]) boots and is admitted
+          by the decentralized quorum-write protocol *)
   | Coordinator_outage of { duration_s : float }
       (** the membership coordinator drops off the network (sim only) *)
   | Frame_fault of { node : int; kind : frame_kind; rate : float; duration_s : float }
@@ -43,6 +49,10 @@ type event = { at : float; fault : fault }
 type t = {
   name : string;
   n : int;
+  members : int;
+      (** initial member count: ports [0 .. members-1] are live from the
+          start, the rest are pending joiners ([members = n], the
+          default, is the classic static overlay) *)
   seed : int;
   warmup_s : float;  (** faults may only start after this *)
   horizon_s : float;  (** total run length *)
@@ -56,6 +66,7 @@ type t = {
 val make :
   name:string ->
   n:int ->
+  ?members:int ->
   seed:int ->
   ?warmup_s:float ->
   ?horizon_s:float ->
@@ -69,7 +80,10 @@ val make :
 val validate : t -> (unit, string) result
 (** Node ids within [0, n), rates/losses within [0, 1], positive
     durations, faults inside [warmup, horizon), and enough room after the
-    last fault clears for recovery ([grace_s]). *)
+    last fault clears for recovery ([grace_s]).  Membership scenarios
+    additionally: [members] within [2, n], every [node-kill] hits a node
+    live at that instant, every [node-join] a still-pending one, and no
+    [coordinator-outage] (the two membership models are exclusive). *)
 
 (** {1 Combinators} *)
 
@@ -100,6 +114,20 @@ val last_clear : t -> float
 (** 0 when there are no events. *)
 
 val uses_coordinator : t -> bool
+
+val uses_membership : t -> bool
+(** Does the scenario exercise decentralized membership — a pending
+    joiner ([members < n]) or any [node-kill]/[node-join] event?  The
+    runners select [Dynamic] membership when true. *)
+
+val live_at : t -> float -> int list
+(** The declared member set at a scenario instant: the initial
+    [0 .. members-1] plus joins at or before [time], minus kills.
+    Crashes don't count — a crashed node restarts and remains a member.
+    Sorted ascending. *)
+
+val joins : t -> (float * int) list
+(** Every [node-join] as [(at, node)], in event order. *)
 
 val scale : t -> float -> t
 (** Multiply every time and duration (warmup, horizon, grace, event times,

@@ -46,12 +46,15 @@ type t = {
   pairs_total : int;
   pairs_recovered : int;
   oracle_checks : int;
+  joins_requested : int;
+  joins_admitted : int;
   user_loss : user_loss option;
   transport : transport option;
 }
 
 let passed t ~require_recovery =
   t.violations_out_of_grace = 0
+  && t.joins_admitted = t.joins_requested
   && ((not require_recovery) || t.pairs_recovered = t.pairs_total)
 
 (* Deterministic JSON: every float through one fixed-width formatter, so
@@ -126,9 +129,9 @@ let to_json t =
        (summary_json t.staleness_s));
   Buffer.add_string buf
     (Printf.sprintf
-       {|,"violations_total":%d,"violations_out_of_grace":%d,"pairs_total":%d,"pairs_recovered":%d,"oracle_checks":%d|}
+       {|,"violations_total":%d,"violations_out_of_grace":%d,"pairs_total":%d,"pairs_recovered":%d,"oracle_checks":%d,"joins_requested":%d,"joins_admitted":%d|}
        t.violations_total t.violations_out_of_grace t.pairs_total t.pairs_recovered
-       t.oracle_checks);
+       t.oracle_checks t.joins_requested t.joins_admitted);
   Buffer.add_string buf
     (Printf.sprintf {|,"user_loss":%s|} (user_loss_json t.user_loss));
   Buffer.add_string buf
@@ -158,6 +161,8 @@ let pp ppf t =
   | None -> ());
   Format.fprintf ppf "  oracle: %d checks, %d violations (%d outside grace)@,"
     t.oracle_checks t.violations_total t.violations_out_of_grace;
+  if t.joins_requested > 0 then
+    Format.fprintf ppf "  joins: %d/%d admitted@," t.joins_admitted t.joins_requested;
   (match t.user_loss with
   | Some u ->
       Format.fprintf ppf "  user traffic: %d/%d delivered (loss %.4f%s), %.1f kbps goodput@,"

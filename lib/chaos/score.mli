@@ -58,16 +58,22 @@ type t = {
   staleness_s : Stats.summary option;  (** per-pair route age at the horizon *)
   violations_total : int;
   violations_out_of_grace : int;  (** outside every fault window + grace *)
-  pairs_total : int;  (** ordered pairs, [n * (n-1)] *)
+  pairs_total : int;
+      (** ordered pairs among the members live at the horizon — [n*(n-1)]
+          for a static scenario *)
   pairs_recovered : int;  (** pairs holding a fresh route at the horizon *)
   oracle_checks : int;  (** recommendations + applications verified *)
+  joins_requested : int;  (** [node-join] events the scenario fired *)
+  joins_admitted : int;
+      (** joiners whose own view contains them at the horizon — a refused
+          or lost join fails the run *)
   user_loss : user_loss option;
   transport : transport option;  (** UDP runs only *)
 }
 
 val passed : t -> require_recovery:bool -> bool
-(** No out-of-grace violations, and (when required) every pair
-    recovered. *)
+(** No out-of-grace violations, every requested join admitted, and (when
+    required) every pair recovered. *)
 
 val to_json : t -> string
 (** One JSON object, newline-terminated.  All times are in scenario

@@ -177,6 +177,38 @@ module Cache = struct
         Hashtbl.replace t.pairs key { hop = !best_hop; cost = !best_cost }
     end
 
+  (* Carry surviving vectors across a membership change.  [map.(r)] names
+     the old id whose state new id [r] inherits (None for fresh joiners or
+     nodes whose carried state the caller deems unusable).  Entries toward
+     vanished nodes become [infinity] — the same cost a snapshot reports
+     for an unreachable peer — and no cached pairs survive: pair winners
+     may shift when candidates vanish, so they are recomputed on demand by
+     the canonical scan, which keeps cached and scanned answers identical
+     by construction. *)
+  let remap t ~n ~map =
+    if n < 2 then invalid_arg "Best_hop.Cache.remap: n must be at least 2";
+    if Array.length map <> n then
+      invalid_arg "Best_hop.Cache.remap: map length differs from n";
+    let fresh = create ~n in
+    for r = 0 to n - 1 do
+      match map.(r) with
+      | None -> ()
+      | Some old ->
+          if old < 0 || old >= t.n then
+            invalid_arg "Best_hop.Cache.remap: mapped id out of range";
+          (match t.vectors.(old) with
+          | None -> ()
+          | Some v ->
+              let v' = Array.make n infinity in
+              for j = 0 to n - 1 do
+                match map.(j) with
+                | Some oldj -> v'.(j) <- v.(oldj)
+                | None -> ()
+              done;
+              fresh.vectors.(r) <- Some v')
+    done;
+    fresh
+
   let update_vector t owner ~changes =
     let v = required_vector t owner in
     List.iter

@@ -91,6 +91,18 @@ module Cache : sig
       full {!best} scan on a miss.
       @raise Invalid_argument when either vector is absent or [src = dst]. *)
 
+  val remap : t -> n:int -> map:Nodeid.t option array -> t
+  (** A fresh cache of size [n] carrying the survivors of a membership
+      change: [map.(r)] is the old id whose stored vector new id [r]
+      inherits ([None] for joiners, or survivors whose carried state the
+      caller chose to drop).  Carried vectors are permuted through [map];
+      entries toward vanished ids become [infinity], matching what a
+      snapshot reports for an unreachable peer.  No cached pairs are
+      carried — winners can shift when candidates vanish, so pairs are
+      recomputed on demand, keeping answers canonical.
+      @raise Invalid_argument when [n < 2], the map's length is not [n],
+      or a mapped id is out of range for the source cache. *)
+
   val update_vector : t -> Nodeid.t -> changes:(Nodeid.t * float) list -> unit
   (** Apply [changes] ([(id, new cost)]) to [owner]'s stored vector in
       place and incrementally repair every cached pair involving [owner].

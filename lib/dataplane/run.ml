@@ -21,7 +21,9 @@ let conservation_count oracle =
        (fun (v : Oracle.violation) ->
          match v.Oracle.check with
          | Oracle.Traffic_conservation | Oracle.Datagram_conservation -> true
-         | Oracle.Quorum_intersection | Oracle.One_hop_optimality -> false)
+         | Oracle.Quorum_intersection | Oracle.One_hop_optimality
+         | Oracle.View_agreement ->
+             false)
        (Oracle.violations oracle))
 
 let make_oracle config =

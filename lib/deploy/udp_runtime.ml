@@ -112,9 +112,12 @@ type endpoint = {
   mutable undecodable : int; (* received frames this endpoint could not decode *)
 }
 
+type membership = [ `Static | `Dynamic of int ]
+
 type t = {
   n : int;
   config : Core.Config.t;
+  membership : membership;
   base_port : int;
   clock : Clock.t;
   timers : Timers.t;
@@ -336,12 +339,33 @@ let make_socket ~base_port i =
      raise e);
   fd
 
+(* The decentralized-membership role of [port] at [incarnation].  The
+   first [initial] ports, incarnation zero, are the genesis members;
+   everyone else — pending joiners and any restarted incarnation, whose
+   previous view died with the process — bootstraps as a joiner.  A
+   restarted member is still in its peers' views, so its Join_req earns
+   an immediate idempotent Join_ack.  Contacts are every other port
+   rotated by the node's own, so retries round-robin the whole deployment
+   and sponsorship spreads instead of hammering port 0. *)
+let role_for t ~port ~incarnation =
+  match t.membership with
+  | `Static -> None
+  | `Dynamic initial ->
+      let module M = Apor_membership.Membership_core in
+      if incarnation = 0 && port < initial then
+        Some (M.Member (M.genesis_view ~members:(List.init initial Fun.id)))
+      else
+        Some
+          (M.Joiner
+             { contacts = List.init (t.n - 1) (fun i -> (port + 1 + i) mod t.n) })
+
 (* Build a node core plus its runtime wiring for [ep]'s current
    incarnation.  Timer callbacks from an earlier incarnation are
    recognised by the captured incarnation number and dropped. *)
 let wire_core t ep =
   let core =
     Core.Node_core.create ~config:t.config ~port:ep.port ~capacity:t.n
+      ?membership:(role_for t ~port:ep.port ~incarnation:ep.incarnation)
       ~trace:(Option.is_some t.trace)
       ~rng:
         (Rng.make ~seed:t.seed
@@ -370,9 +394,18 @@ let wire_core t ep =
   in
   ep.rt <- Some rt
 
-let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
+let create ~config ~n ?(membership = `Static) ?(base_port = 9000) ?trace ~seed () =
   if n < 2 then invalid_arg "Udp_runtime.create: need at least two nodes";
   if n > 0xFFFF then invalid_arg "Udp_runtime.create: n out of range";
+  (match membership with
+  | `Static -> ()
+  | `Dynamic initial ->
+      if initial < 2 || initial > n then
+        invalid_arg "Udp_runtime.create: Dynamic initial outside [2, n]";
+      if config.Core.Config.centralized_membership then
+        invalid_arg
+          "Udp_runtime.create: centralized membership needs a coordinator \
+           endpoint, which the UDP runtime does not host");
   let clock = Clock.create () in
   (match trace with
   | Some tr -> Apor_trace.Collector.set_clock tr (fun () -> Clock.now clock)
@@ -427,6 +460,7 @@ let create ~config ~n ?(base_port = 9000) ?trace ~seed () =
     {
       n;
       config;
+      membership;
       base_port;
       clock;
       timers;
@@ -460,15 +494,39 @@ let n t = t.n
 let static_view t = Core.View.create ~version:1 ~members:(List.init t.n Fun.id)
 
 let start t =
-  let view = static_view t in
-  Array.iter
-    (fun ep ->
-      match ep.rt with
-      | Some rt ->
-          Core.Runtime.dispatch rt Core.Node_core.Start;
-          Core.Runtime.dispatch rt (Core.Node_core.Install_view view)
-      | None -> ())
-    t.endpoints
+  match t.membership with
+  | `Static ->
+      let view = static_view t in
+      Array.iter
+        (fun ep ->
+          match ep.rt with
+          | Some rt ->
+              Core.Runtime.dispatch rt Core.Node_core.Start;
+              Core.Runtime.dispatch rt (Core.Node_core.Install_view view)
+          | None -> ())
+        t.endpoints
+  | `Dynamic initial ->
+      (* Genesis members boot holding their view (the core installs it on
+         Start); pending joiners stay dormant until [join_node]. *)
+      Array.iter
+        (fun ep ->
+          if ep.port < initial then
+            match ep.rt with
+            | Some rt -> Core.Runtime.dispatch rt Core.Node_core.Start
+            | None -> ())
+        t.endpoints
+
+let join_node t i =
+  (match t.membership with
+  | `Static -> invalid_arg "Udp_runtime.join_node: membership is static"
+  | `Dynamic initial ->
+      if i < initial || i >= t.n then
+        invalid_arg "Udp_runtime.join_node: port is not a pending joiner");
+  let ep = t.endpoints.(i) in
+  if ep.alive then
+    match ep.rt with
+    | Some rt -> Core.Runtime.dispatch rt Core.Node_core.Start
+    | None -> ()
 
 let fire_due_timers t =
   let continue = ref true in
@@ -620,12 +678,22 @@ let restart_node t i =
     ep.covered_count <- 0;
     Array.iter (fun l -> l.reported_down <- false) ep.links;
     wire_core t ep;
-    (* Rejoin: static membership hands the restarted node the full view,
-       exactly as [start] did for incarnation zero. *)
+    (* Rejoin.  Static membership hands the restarted node the full view,
+       exactly as [start] did for incarnation zero; dynamic membership
+       reboots it as a joiner (its old view died with the process — it
+       re-solicits admission, answered idempotently since its peers still
+       hold it as a member).  The View_reset trace event tells the
+       oracle's view-agreement tracker this is a fresh incarnation, whose
+       first adoption may lawfully regress below the crashed one's. *)
     match ep.rt with
-    | Some rt ->
-        Core.Runtime.dispatch rt Core.Node_core.Start;
-        Core.Runtime.dispatch rt (Core.Node_core.Install_view (static_view t))
+    | Some rt -> (
+        match t.membership with
+        | `Static ->
+            Core.Runtime.dispatch rt Core.Node_core.Start;
+            Core.Runtime.dispatch rt (Core.Node_core.Install_view (static_view t))
+        | `Dynamic _ ->
+            emit t (Ev.View_reset { node = ep.port });
+            Core.Runtime.dispatch rt Core.Node_core.Start)
     | None -> ()
   end
 

@@ -16,9 +16,13 @@
     a [Link_report] down verdict into the core, withdrawn on the next
     successful send.
 
-    Membership is static: {!start} dispatches [Start] and installs the
-    full view on every node, the steady-state configuration of the
-    paper's measurements.
+    Membership is static by default: {!start} dispatches [Start] and
+    installs the full view on every node, the steady-state configuration
+    of the paper's measurements.  With [`Dynamic initial] the first
+    [initial] nodes boot as genesis members of the decentralized
+    quorum-replicated protocol ([lib/membership]) and the rest join live
+    via {!join_node}; restarts rejoin through the same protocol instead
+    of a view install.
 
     {b Fault injection} (the [Apor_chaos] UDP injector drives these):
     {!kill_node}/{!restart_node} crash and revive individual node loops —
@@ -58,11 +62,20 @@ type link_stats = {
 
 type frame_fate = Pass | Drop | Corrupt | Duplicate | Delay of float
 
+type membership = [ `Static | `Dynamic of int ]
+(** [`Dynamic initial]: ports [0 .. initial-1] are genesis members of the
+    decentralized membership protocol, the rest pending joiners admitted
+    on {!join_node}.  The centralized baseline
+    ([config.centralized_membership]) is simulator-only — it needs a
+    coordinator endpoint this runtime does not host, and {!create}
+    rejects the combination. *)
+
 type t
 
 val create :
   config:Apor_overlay_core.Config.t ->
   n:int ->
+  ?membership:membership ->
   ?base_port:int ->
   ?trace:Apor_trace.Collector.t ->
   seed:int ->
@@ -121,8 +134,17 @@ val kill_node : t -> int -> unit
 
 val restart_node : t -> int -> unit
 (** Revive a killed node [i]: rebind its UDP port and boot a fresh core
-    (deterministic per [(seed, port, incarnation)]) that rejoins via
-    [Start] + [Install_view].  No-op when the node is alive. *)
+    (deterministic per [(seed, port, incarnation)]) that rejoins — via
+    [Start] + [Install_view] under static membership, or as a fresh
+    joiner (plus a [View_reset] trace event) under [`Dynamic].  No-op
+    when the node is alive. *)
+
+val join_node : t -> int -> unit
+(** Wake pending joiner [i]: it solicits admission from its contacts
+    until a quorum-written view containing it arrives.  Idempotent; a
+    no-op on a killed node.
+    @raise Invalid_argument under [`Static], or when [i] is not in
+    [\[initial, n)]. *)
 
 val node_alive : t -> int -> bool
 

@@ -1,0 +1,164 @@
+type t =
+  | Join_req of { port : int }
+  | Join_ack of { epoch : int; members : int list }
+  | View_announce of { epoch : int; members : int list }
+  | View_delta of { base_epoch : int; epoch : int; joined : int list; left : int list }
+  | Epoch_resync of { epoch : int }
+  | Leave_req of { port : int }
+
+let equal a b =
+  match (a, b) with
+  | Join_req { port = p1 }, Join_req { port = p2 } -> p1 = p2
+  | Join_ack { epoch = e1; members = m1 }, Join_ack { epoch = e2; members = m2 } ->
+      e1 = e2 && m1 = m2
+  | ( View_announce { epoch = e1; members = m1 },
+      View_announce { epoch = e2; members = m2 } ) ->
+      e1 = e2 && m1 = m2
+  | ( View_delta { base_epoch = b1; epoch = e1; joined = j1; left = l1 },
+      View_delta { base_epoch = b2; epoch = e2; joined = j2; left = l2 } ) ->
+      b1 = b2 && e1 = e2 && j1 = j2 && l1 = l2
+  | Epoch_resync { epoch = e1 }, Epoch_resync { epoch = e2 } -> e1 = e2
+  | Leave_req { port = p1 }, Leave_req { port = p2 } -> p1 = p2
+  | ( ( Join_req _ | Join_ack _ | View_announce _ | View_delta _ | Epoch_resync _
+      | Leave_req _ ),
+      _ ) ->
+      false
+
+(* --- binary codec ------------------------------------------------------- *)
+
+(* Same conventions as [Overlay_core.Message]: one tag byte, big-endian
+   fixed-width fields, ports 16 bits, epochs 32 bits, member lists with an
+   explicit 16-bit count.  The decoder is total: truncation, unknown tags
+   and trailing bytes yield [Error]. *)
+
+let tag_join_req = 0
+let tag_join_ack = 1
+let tag_view_announce = 2
+let tag_view_delta = 3
+let tag_epoch_resync = 4
+let tag_leave_req = 5
+
+let u16_max = 0xFFFF
+let u32_max = 0xFFFFFFFF
+
+let size_bytes = function
+  | Join_req _ | Leave_req _ -> 1 + 2
+  | Join_ack { members; _ } | View_announce { members; _ } ->
+      1 + 4 + 2 + (2 * List.length members)
+  | View_delta { joined; left; _ } ->
+      1 + 4 + 4 + 2 + (2 * List.length joined) + 2 + (2 * List.length left)
+  | Epoch_resync _ -> 1 + 4
+
+let put_u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Membership.Wire.encode: u8 out of range";
+  Buffer.add_uint8 b v
+
+let put_u16 b v =
+  if v < 0 || v > u16_max then invalid_arg "Membership.Wire.encode: u16 out of range";
+  Buffer.add_uint16_be b v
+
+let put_u32 b v =
+  if v < 0 || v > u32_max then invalid_arg "Membership.Wire.encode: u32 out of range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let put_ports b ports =
+  put_u16 b (List.length ports);
+  List.iter (fun p -> put_u16 b p) ports
+
+let encode_into b = function
+  | Join_req { port } ->
+      put_u8 b tag_join_req;
+      put_u16 b port
+  | Join_ack { epoch; members } ->
+      put_u8 b tag_join_ack;
+      put_u32 b epoch;
+      put_ports b members
+  | View_announce { epoch; members } ->
+      put_u8 b tag_view_announce;
+      put_u32 b epoch;
+      put_ports b members
+  | View_delta { base_epoch; epoch; joined; left } ->
+      put_u8 b tag_view_delta;
+      put_u32 b base_epoch;
+      put_u32 b epoch;
+      put_ports b joined;
+      put_ports b left
+  | Epoch_resync { epoch } ->
+      put_u8 b tag_epoch_resync;
+      put_u32 b epoch
+  | Leave_req { port } ->
+      put_u8 b tag_leave_req;
+      put_u16 b port
+
+let encode msg =
+  let b = Buffer.create 32 in
+  encode_into b msg;
+  Buffer.to_bytes b
+
+exception Truncated
+
+let decode buf =
+  let len = Bytes.length buf in
+  let pos = ref 0 in
+  let need k = if !pos + k > len then raise Truncated in
+  let u8 () =
+    need 1;
+    let v = Bytes.get_uint8 buf !pos in
+    incr pos;
+    v
+  in
+  let u16 () =
+    need 2;
+    let v = Bytes.get_uint16_be buf !pos in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (Bytes.get_int32_be buf !pos) land u32_max in
+    pos := !pos + 4;
+    v
+  in
+  let ports () =
+    let n = u16 () in
+    List.init n (fun _ -> u16 ())
+  in
+  let go () =
+    match u8 () with
+    | tag when tag = tag_join_req -> Ok (Join_req { port = u16 () })
+    | tag when tag = tag_join_ack ->
+        let epoch = u32 () in
+        Ok (Join_ack { epoch; members = ports () })
+    | tag when tag = tag_view_announce ->
+        let epoch = u32 () in
+        Ok (View_announce { epoch; members = ports () })
+    | tag when tag = tag_view_delta ->
+        let base_epoch = u32 () in
+        let epoch = u32 () in
+        let joined = ports () in
+        let left = ports () in
+        Ok (View_delta { base_epoch; epoch; joined; left })
+    | tag when tag = tag_epoch_resync -> Ok (Epoch_resync { epoch = u32 () })
+    | tag when tag = tag_leave_req -> Ok (Leave_req { port = u16 () })
+    | tag -> Error (Printf.sprintf "Membership.Wire.decode: unknown tag %d" tag)
+  in
+  match go () with
+  | Ok msg when !pos = len -> Ok msg
+  | Ok _ -> Error "Membership.Wire.decode: trailing bytes"
+  | Error _ as e -> e
+  | exception Truncated -> Error "Membership.Wire.decode: truncated"
+
+let pp_epoch ppf e = Format.fprintf ppf "%d.%d" (e lsr 16) (e land u16_max)
+
+let pp ppf = function
+  | Join_req { port } -> Format.fprintf ppf "join-req(%d)" port
+  | Join_ack { epoch; members } ->
+      Format.fprintf ppf "join-ack(e%a, %d members)" pp_epoch epoch (List.length members)
+  | View_announce { epoch; members } ->
+      Format.fprintf ppf "view-announce(e%a, %d members)" pp_epoch epoch
+        (List.length members)
+  | View_delta { base_epoch; epoch; joined; left } ->
+      Format.fprintf ppf "view-delta(e%a->e%a, +%d/-%d)" pp_epoch base_epoch pp_epoch
+        epoch (List.length joined) (List.length left)
+  | Epoch_resync { epoch } -> Format.fprintf ppf "epoch-resync(e%a)" pp_epoch epoch
+  | Leave_req { port } -> Format.fprintf ppf "leave-req(%d)" port

@@ -1,0 +1,42 @@
+(** Wire payloads of the decentralized membership protocol.
+
+    These ride inside [Overlay_core.Message.Member] frames so both
+    runtimes reuse the existing transport, byte accounting and frame
+    robustness.  Epochs are the ballot-style view versions of
+    {!Membership_core}: [(counter lsl 16) lor sponsor_port]. *)
+
+type t =
+  | Join_req of { port : int }
+      (** Joiner -> any member: "admit me".  Retried round-robin over the
+          joiner's contact list until a view containing it arrives. *)
+  | Join_ack of { epoch : int; members : int list }
+      (** Sponsor -> joiner, after the quorum write commits: the view the
+          joiner now belongs to. *)
+  | View_announce of { epoch : int; members : int list }
+      (** Full view push: the sponsor's quorum write, the post-commit
+          broadcast, and the anti-entropy repair for epoch gaps. *)
+  | View_delta of { base_epoch : int; epoch : int; joined : int list; left : int list }
+      (** Compact repair when the receiver is exactly one view behind:
+          applies on top of [base_epoch] (the [Ls_resync] idiom). *)
+  | Epoch_resync of { epoch : int }
+      (** Epoch digest, three roles: gossip heartbeat, quorum-write ack
+          (echoing the adopted epoch back to its sponsor), and "I am
+          behind, push me your view" solicitation. *)
+  | Leave_req of { port : int }
+      (** Graceful departure, relayed to any live member. *)
+
+val size_bytes : t -> int
+(** Exact encoded length, computed without allocating. *)
+
+val equal : t -> t -> bool
+
+val encode : t -> bytes
+(** One tag byte plus big-endian fixed-width fields; ports 16 bits,
+    epochs 32 bits, member lists length-prefixed.
+    @raise Invalid_argument when a field exceeds its wire width. *)
+
+val decode : bytes -> (t, string) result
+(** Total inverse of {!encode}: truncated input, unknown tags and
+    trailing bytes yield [Error], never an exception. *)
+
+val pp : Format.formatter -> t -> unit

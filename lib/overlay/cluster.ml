@@ -1,15 +1,20 @@
 open Apor_util
 open Apor_sim
 
-type membership = Static | Coordinator of { rtt_ms : float }
+type membership =
+  | Static
+  | Coordinator of { rtt_ms : float }
+  | Dynamic of { initial : int; rtt_ms : float }
 
 type t = {
   config : Config.t;
   n : int;
+  initial : int; (* nodes live at start; the rest join via [join_node] *)
   engine : Message.t Engine.t;
   nodes : Node.t array;
   coordinator : Coordinator.t option;
   coordinator_port : int option;
+  static_view : bool;
   mutable next_data_id : int;
   deliveries : (int, float) Hashtbl.t; (* data packet id -> delivery time *)
   dgram_sink : (now:float -> node:int -> Message.t -> unit) option ref;
@@ -26,10 +31,22 @@ let pad_matrix m extra ~fill =
 let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ?scheduler ~seed () =
   let n = Array.length rtt_ms in
   if n < 2 then invalid_arg "Cluster.create: need at least two nodes";
+  (* A [Dynamic] overlay normally runs the decentralized quorum protocol;
+     [config.centralized_membership] swaps in the old coordinator as the
+     comparison baseline, with the same initial-members/joiners split. *)
   let with_coordinator, coordinator_rtt =
     match membership with
     | Static -> (false, 0.)
     | Coordinator { rtt_ms } -> (true, rtt_ms)
+    | Dynamic { rtt_ms; _ } -> (config.Config.centralized_membership, rtt_ms)
+  in
+  let initial =
+    match membership with
+    | Static | Coordinator _ -> n
+    | Dynamic { initial; _ } ->
+        if initial < 2 || initial > n then
+          invalid_arg "Cluster.create: Dynamic initial outside [2, n]";
+        initial
   in
   let extra = if with_coordinator then 1 else 0 in
   let rtt_full = pad_matrix rtt_ms extra ~fill:coordinator_rtt in
@@ -93,10 +110,28 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ?scheduler ~seed 
             Coordinator.handle_message c ~now:(Engine.now engine) ~src_port:src msg
         | None -> ()
       end);
+  (* Decentralized dynamic membership: the first [initial] nodes are the
+     genesis members, everyone else is a joiner whose contact list is the
+     genesis set rotated by its own port — deterministic, and it spreads
+     sponsorship across the membership instead of hammering port 0. *)
+  let genesis_members = List.init initial Fun.id in
+  let role_for port =
+    match membership with
+    | Static | Coordinator _ -> None
+    | Dynamic _ when config.Config.centralized_membership -> None
+    | Dynamic _ ->
+        let module M = Apor_membership.Membership_core in
+        if port < initial then Some (M.Member (M.genesis_view ~members:genesis_members))
+        else
+          Some
+            (M.Joiner
+               { contacts = List.init initial (fun i -> (port + i) mod initial) })
+  in
   let nodes =
     Array.init n (fun port ->
         let core =
           Node_core.create ~config ~port ~capacity:(n + extra) ?coordinator_port
+            ?membership:(role_for port)
             ~trace:(Option.is_some node_trace)
             ~rng:(Rng.split root (Printf.sprintf "node.%d" port))
             ()
@@ -132,10 +167,12 @@ let create ~config ~rtt_ms ?loss ?(membership = Static) ?trace ?scheduler ~seed 
   {
     config;
     n;
+    initial;
     engine;
     nodes;
     coordinator;
     coordinator_port;
+    static_view = (membership = Static);
     next_data_id = 0;
     deliveries;
     dgram_sink;
@@ -155,13 +192,20 @@ let coordinator_port t = t.coordinator_port
 
 let start t =
   (match t.coordinator with Some c -> Coordinator.start_expiry c | None -> ());
-  Array.iter Node.start t.nodes;
-  if t.coordinator = None then begin
+  for port = 0 to t.initial - 1 do
+    Node.start t.nodes.(port)
+  done;
+  if t.static_view then begin
     (* Static membership: everyone gets the full view immediately. *)
     let members = List.init t.n Fun.id in
     let view = View.create ~version:1 ~members in
     Array.iter (fun node -> Node.install_view node view) t.nodes
   end
+
+let join_node t port =
+  if port < t.initial || port >= t.n then
+    invalid_arg "Cluster.join_node: port is not a pending joiner";
+  Node.start t.nodes.(port)
 
 let run_until t horizon = Engine.run_until t.engine horizon
 let now t = Engine.now t.engine

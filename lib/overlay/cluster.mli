@@ -11,7 +11,17 @@
 
 open Apor_sim
 
-type membership = Static | Coordinator of { rtt_ms : float }
+type membership =
+  | Static
+  | Coordinator of { rtt_ms : float }
+  | Dynamic of { initial : int; rtt_ms : float }
+      (** The first [initial] ports are genesis members live at {!start};
+          the remaining [n - initial] are pending joiners admitted on
+          {!join_node}.  Runs the decentralized quorum-replicated protocol
+          ([lib/membership]) — no coordinator exists — unless
+          [config.centralized_membership] is set, in which case the old
+          coordinator (an extra endpoint at port [n], links at [rtt_ms])
+          serves the same split as a comparison baseline. *)
 
 type t
 
@@ -54,7 +64,15 @@ val node : t -> int -> Node.t
 val coordinator_port : t -> int option
 
 val start : t -> unit
-(** Start every node (and the coordinator's lease sweep). *)
+(** Start every initially-live node (and the coordinator's lease sweep).
+    With [Dynamic] membership, pending joiners stay dormant until
+    {!join_node}. *)
+
+val join_node : t -> int -> unit
+(** Wake a pending joiner: it runs the join protocol (quorum or
+    coordinator, per the membership mode) until admitted.  Idempotent.
+    @raise Invalid_argument unless [Dynamic] was given and [port] is in
+    [\[initial, n)]. *)
 
 val run_until : t -> float -> unit
 

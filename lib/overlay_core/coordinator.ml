@@ -56,7 +56,7 @@ let handle_message t ~now ~src_port msg =
   | Message.Probe _ | Message.Probe_reply _ | Message.Link_state _
   | Message.Link_state_delta _ | Message.Ls_resync _
   | Message.Recommend _ | Message.View _ | Message.Data _ | Message.Relay _
-  | Message.Dgram _ ->
+  | Message.Dgram _ | Message.Member _ ->
       ()
 
 let on_sweep_timer t ~now =

@@ -21,6 +21,7 @@ type t =
       sent_at_us : int;
       payload : int;
     }
+  | Member of Apor_membership.Wire.t
 
 let data_payload_bytes = 64
 let dgram_header_bytes = 19
@@ -38,11 +39,12 @@ let rec size_bytes = function
   | Data _ -> Overhead.header_bytes + data_payload_bytes
   | Relay { inner; _ } -> Overhead.header_bytes + size_bytes inner
   | Dgram { payload; _ } -> dgram_header_bytes + payload
+  | Member w -> 1 + Apor_membership.Wire.size_bytes w
 
 let rec cls = function
   | Probe _ | Probe_reply _ -> Msgclass.Probe
   | Link_state _ | Link_state_delta _ | Ls_resync _ | Recommend _ -> Msgclass.Routing
-  | Join _ | Leave _ | View _ -> Msgclass.Membership
+  | Join _ | Leave _ | View _ | Member _ -> Msgclass.Membership
   | Data _ | Dgram _ -> Msgclass.Data
   | Relay { inner; _ } -> cls inner
 
@@ -80,8 +82,10 @@ let rec equal a b =
       Dgram { id = i2; origin = o2; dst = d2; hops = h2; sent_at_us = s2; payload = p2 } )
     ->
       i1 = i2 && o1 = o2 && d1 = d2 && h1 = h2 && s1 = s2 && p1 = p2
+  | Member w1, Member w2 -> Apor_membership.Wire.equal w1 w2
   | ( ( Probe _ | Probe_reply _ | Link_state _ | Link_state_delta _ | Ls_resync _
-      | Recommend _ | Join _ | Leave _ | View _ | Data _ | Relay _ | Dgram _ ),
+      | Recommend _ | Join _ | Leave _ | View _ | Data _ | Relay _ | Dgram _
+      | Member _ ),
       _ ) ->
       false
 
@@ -106,6 +110,7 @@ let tag_view = 8
 let tag_data = 9
 let tag_relay = 10
 let tag_dgram = 11
+let tag_member = 12
 
 let u16_max = 0xFFFF
 let u32_max = 0xFFFFFFFF
@@ -185,6 +190,9 @@ let rec encode_into b = function
       put_u16 b (sent_at_us lsr 32);
       put_u32 b (sent_at_us land u32_max);
       put_u16 b payload
+  | Member w ->
+      put_u8 b tag_member;
+      Buffer.add_bytes b (Apor_membership.Wire.encode w)
 
 let encode msg =
   let b = Buffer.create 64 in
@@ -284,6 +292,12 @@ let decode buf =
         let lo = u32 () in
         let payload = u16 () in
         Ok (Dgram { id; origin; dst; hops; sent_at_us = (hi lsl 32) lor lo; payload })
+    | tag when tag = tag_member -> (
+        (* the membership payload extends to the end of the frame; its own
+           decoder enforces the trailing-bytes check *)
+        match Apor_membership.Wire.decode (raw (len - !pos)) with
+        | Ok w -> Ok (Member w)
+        | Error e -> Error e)
     | tag -> Error (Printf.sprintf "Message.decode: unknown tag %d" tag)
   in
   match go () with
@@ -316,3 +330,4 @@ let rec pp ppf = function
       Format.fprintf ppf "relay(%d=>%d, %a)" origin target pp inner
   | Dgram { id; origin; dst; hops; payload; _ } ->
       Format.fprintf ppf "dgram#%d(%d->%d, hops=%d, %dB)" id origin dst hops payload
+  | Member w -> Format.fprintf ppf "member(%a)" Apor_membership.Wire.pp w

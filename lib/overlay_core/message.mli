@@ -54,6 +54,11 @@ type t =
           [Dgram] is intercepted at the transport boundary by the
           data-plane forwarder and never enters the protocol state
           machine; the core only models its byte cost. *)
+  | Member of Apor_membership.Wire.t
+      (** Decentralized membership ([lib/membership]): join requests and
+          acks, quorum view writes, deltas and epoch digests.  [Join],
+          [Leave] and [View] above remain the centralized-coordinator
+          baseline ([Config.centralized_membership]). *)
 
 val data_payload_bytes : int
 (** Synthetic application payload size (64 bytes — a VoIP-frame-sized

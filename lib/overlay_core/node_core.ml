@@ -1,10 +1,12 @@
 open Apor_util
+module Membership = Apor_membership.Membership_core
 
 type timer =
   | Probe_timer of { peer : int; generation : int }
   | Probe_timeout of { peer : int; generation : int; seq : int }
   | Router_tick
   | Join_retry
+  | Member_timer of Membership.timer
 
 type input =
   | Start
@@ -34,6 +36,7 @@ type t = {
   config : Config.t;
   port : int;
   coordinator_port : int option;
+  mem : Membership.t option;
   buf : buffer;
   monitor : Monitor.t;
   router : router;
@@ -44,14 +47,36 @@ type t = {
 
 let push buf o = buf.out_rev <- o :: buf.out_rev
 
-let create ~config ~port ~capacity ?coordinator_port ?(trace = false) ~rng () =
+let create ~config ~port ~capacity ?coordinator_port ?membership ?(trace = false) ~rng ()
+    =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Node_core.create: " ^ msg));
+  if coordinator_port <> None && membership <> None then
+    invalid_arg "Node_core.create: coordinator and quorum membership are exclusive";
   let buf = { now = 0.; out_rev = [] } in
+  let mem =
+    Option.map
+      (fun role ->
+        Membership.create
+          ~params:
+            (Membership.derive ~routing_interval_s:config.routing_interval_s
+               ~refresh_s:config.membership_refresh_s)
+          ~port ~role ~trace ())
+      membership
+  in
   (* The router is created first as a forward reference so the monitor's
      death/recovery effects can reach it. *)
   let router_ref = ref None in
+  (* Monitor verdicts also feed the membership core's lazy crash
+     eviction; [Peer_report] only records evidence, so it never emits
+     outputs of its own. *)
+  let report_peer peer ~up =
+    match mem with
+    | Some m ->
+        ignore (Membership.handle m ~now:buf.now (Membership.Peer_report { port = peer; up }))
+    | None -> ()
+  in
   let monitor =
     Monitor.create ~config ~self:port ~capacity ~rng:(Rng.split rng "monitor")
       {
@@ -66,11 +91,13 @@ let create ~config ~port ~capacity ?coordinator_port ?(trace = false) ~rng () =
               (Set_timer { timer = Probe_timeout { peer; generation; seq }; delay }));
         on_peer_death =
           (fun peer ->
+            report_peer peer ~up:false;
             match !router_ref with
             | Some (Quorum r) -> Router.on_peer_death r ~now:buf.now ~port:peer
             | Some (Full_mesh _) | None -> ());
         on_peer_recovery =
           (fun peer ->
+            report_peer peer ~up:true;
             match !router_ref with
             | Some (Quorum r) -> Router.on_peer_recovery r ~port:peer
             | Some (Full_mesh _) | None -> ());
@@ -97,6 +124,7 @@ let create ~config ~port ~capacity ?coordinator_port ?(trace = false) ~rng () =
     config;
     port;
     coordinator_port;
+    mem;
     buf;
     monitor;
     router;
@@ -123,6 +151,28 @@ let install_view t v =
     | Quorum r -> Router.set_view r ~now:t.buf.now v
     | Full_mesh r -> Router_fullmesh.set_view r ~now:t.buf.now v
   end
+
+(* Interpret the membership core's effects: wire sends wrap in
+   [Message.Member], timers embed as [Member_timer], installed views flow
+   into the router exactly like coordinator broadcasts did. *)
+let run_membership t outputs =
+  List.iter
+    (fun (o : Membership.output) ->
+      match o with
+      | Membership.Send { dst_port; msg } ->
+          push t.buf (Send { dst_port; msg = Message.Member msg })
+      | Membership.Set_timer { timer; delay } ->
+          push t.buf (Set_timer { timer = Member_timer timer; delay })
+      | Membership.Install v ->
+          t.joined <- true;
+          install_view t v
+      | Membership.Trace ev -> push t.buf (Trace ev))
+    outputs
+
+let membership_input t input =
+  match t.mem with
+  | None -> ()
+  | Some m -> run_membership t (Membership.handle m ~now:t.buf.now input)
 
 let join_step t =
   match t.coordinator_port with
@@ -188,6 +238,7 @@ let rec deliver t ~src_port msg =
       | Full_mesh r -> Router_fullmesh.handle_message r ~now:t.buf.now ~src_port msg);
       surface_recommendations t ~src_port ~view entries
   | Message.Join _ | Message.Leave _ -> () (* we are not the coordinator *)
+  | Message.Member w -> membership_input t (Membership.Deliver { src_port; msg = w })
   | Message.Data { id; origin; dst; ttl } ->
       if dst = t.port then push t.buf (Deliver_data { id; origin })
       else if ttl > 0 then begin
@@ -220,7 +271,8 @@ let apply t input =
         (match t.router with
         | Quorum r -> Router.start r
         | Full_mesh r -> Router_fullmesh.start r);
-        join_step t
+        join_step t;
+        membership_input t Membership.Start
       end
   | Install_view v -> install_view t v
   | Deliver { src_port; msg } -> deliver t ~src_port msg
@@ -233,6 +285,7 @@ let apply t input =
       | Quorum r -> Router.on_tick_timer r ~now:t.buf.now
       | Full_mesh r -> Router_fullmesh.on_tick_timer r ~now:t.buf.now)
   | Tick Join_retry -> join_step t
+  | Tick (Member_timer mt) -> membership_input t (Membership.Tick mt)
   | Send_data { dst_port; id } ->
       if dst_port = t.port then push t.buf (Deliver_data { id; origin = t.port })
       else begin
@@ -248,6 +301,10 @@ let apply t input =
         | None -> ()
       end
   | Leave -> (
+      if t.mem <> None then begin
+        t.started <- false;
+        membership_input t Membership.Leave
+      end;
       match t.coordinator_port with
       | None -> ()
       | Some coordinator ->
@@ -288,6 +345,7 @@ let pp_timer ppf = function
       Format.fprintf ppf "probe-timeout(peer=%d, gen=%d, seq=%d)" peer generation seq
   | Router_tick -> Format.pp_print_string ppf "router-tick"
   | Join_retry -> Format.pp_print_string ppf "join-retry"
+  | Member_timer mt -> Format.fprintf ppf "member(%a)" Membership.pp_timer mt
 
 let pp_input ppf = function
   | Start -> Format.pp_print_string ppf "start"

@@ -35,7 +35,10 @@ type timer =
   | Probe_timeout of { peer : int; generation : int; seq : int }
       (** Loss detection for one outstanding probe. *)
   | Router_tick  (** The routing interval. *)
-  | Join_retry  (** Membership join retry / lease refresh. *)
+  | Join_retry  (** Membership join retry / lease refresh (coordinator). *)
+  | Member_timer of Apor_membership.Membership_core.timer
+      (** A decentralized-membership timer (gossip, join retry, quorum
+          write check), embedded as data like every other timer. *)
 
 type input =
   | Start  (** Begin probing/routing and (if configured) join. *)
@@ -73,15 +76,20 @@ val create :
   port:int ->
   capacity:int ->
   ?coordinator_port:int ->
+  ?membership:Apor_membership.Membership_core.role ->
   ?trace:bool ->
   rng:Rng.t ->
   unit ->
   t
 (** [capacity] is the largest port + 1 ever addressable (sizes the
-    monitor).  With a [coordinator_port], [Start] runs the join protocol;
-    without one the node waits for [Install_view].  [trace] (default
-    false) turns on {!output.Trace} emission; off, the emission sites
-    compile to a field test and allocate nothing. *)
+    monitor).  With a [coordinator_port], [Start] runs the centralized
+    join protocol; with [membership], the decentralized quorum protocol
+    ([lib/membership]) — genesis members install their view at [Start],
+    joiners solicit admission from their contacts (the two options are
+    mutually exclusive).  With neither, the node waits for
+    [Install_view].  [trace] (default false) turns on {!output.Trace}
+    emission; off, the emission sites compile to a field test and
+    allocate nothing. *)
 
 val handle : t -> now:float -> input -> output list
 (** The single entry point: apply one input at time [now], return the

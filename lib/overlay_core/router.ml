@@ -85,14 +85,61 @@ let set_view t ~now v =
     | None -> t.ctx <- None (* we are not a member of this view *)
     | Some self ->
         let m = View.size v in
+        let grid = Grid.build m in
+        (* Carry what provably survives the membership change, so routing
+           does not restart cold on every join/leave.  Ranks shift when
+           members come and go, so everything carried is permuted through
+           the old-rank-of-new-rank map.  Learned routes survive whenever
+           destination and hop are both still members (a one-hop path's
+           validity does not depend on grid geometry; received_at keeps
+           aging them out as usual).  Cached cost vectors additionally
+           require the owner's rendezvous geometry to be intact
+           (Grid.remap): a node whose row/column composition changed will
+           be served by different rendezvous, and its stale vector must
+           not answer round-two queries meanwhile.  Tables, failover
+           episodes and recommendation timestamps are deliberately
+           dropped — their consumers (oracle mirrors, failover pacing)
+           are keyed by view version and reset cleanly. *)
+        let carried_routes, carried_cache =
+          match t.ctx with
+          | None -> (None, None)
+          | Some old ->
+              let map = View.rank_map ~prev:old.view ~next:v in
+              let inv = Array.make (View.size old.view) (-1) in
+              Array.iteri
+                (fun r o -> match o with Some o -> inv.(o) <- r | None -> ())
+                map;
+              let routes = Array.make m None in
+              Array.iteri
+                (fun r o ->
+                  match o with
+                  | Some old_r -> (
+                      match old.routes.(old_r) with
+                      | Some route when inv.(route.hop) >= 0 ->
+                          routes.(r) <- Some { route with hop = inv.(route.hop) }
+                      | Some _ | None -> ())
+                  | None -> ())
+                map;
+              let cache =
+                match old.cache with
+                | Some c when t.config.incremental_rendezvous && m >= 2 ->
+                    let kept = Grid.remap ~prev:old.grid ~next:grid ~map in
+                    Some (Best_hop.Cache.remap c ~n:m ~map:kept)
+                | Some _ | None -> None
+              in
+              (Some routes, cache)
+        in
         t.ctx <-
           Some
             {
               view = v;
-              grid = Grid.build m;
+              grid;
               self;
               table = Table.create ~n:m ~owner:self;
-              routes = Array.make m None;
+              routes =
+                (match carried_routes with
+                | Some r -> r
+                | None -> Array.make m None);
               rec_last = Array.make m neg_infinity;
               rec_pair = Hashtbl.create 64;
               failover = Nodeid.Map.empty;
@@ -112,9 +159,12 @@ let set_view t ~now v =
               last_sent = Hashtbl.create 8;
               connecting_memo = Array.make m None;
               cache =
-                (if t.config.incremental_rendezvous && m >= 2 then
-                   Some (Best_hop.Cache.create ~n:m)
-                 else None);
+                (match carried_cache with
+                | Some _ as c -> c
+                | None ->
+                    if t.config.incremental_rendezvous && m >= 2 then
+                      Some (Best_hop.Cache.create ~n:m)
+                    else None);
             };
         (match t.trace with
         | Some emit ->
@@ -660,7 +710,8 @@ let handle_message t ~now ~src_port msg =
   | Message.Ls_resync { view; owner } -> handle_ls_resync t ~now ~src_port ~view ~owner
   | Message.Recommend { view; entries } -> handle_recommend t ~now ~src_port ~view entries
   | Message.Probe _ | Message.Probe_reply _ | Message.Join _ | Message.Leave _
-  | Message.View _ | Message.Data _ | Message.Relay _ | Message.Dgram _ ->
+  | Message.View _ | Message.Data _ | Message.Relay _ | Message.Dgram _
+  | Message.Member _ ->
       ()
 
 let on_peer_death t ~now ~port:_ =

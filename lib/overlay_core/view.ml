@@ -1,32 +1,5 @@
-type t = { version : int; members : int array }
-
-let create ~version ~members =
-  if members = [] then invalid_arg "View.create: empty member list";
-  List.iter (fun p -> if p < 0 then invalid_arg "View.create: negative port") members;
-  let members = List.sort_uniq Int.compare members |> Array.of_list in
-  { version; members }
-
-let version t = t.version
-let size t = Array.length t.members
-let members t = Array.copy t.members
-
-let rank_of_port t port =
-  let rec go lo hi =
-    if lo >= hi then None
-    else begin
-      let mid = (lo + hi) / 2 in
-      if t.members.(mid) = port then Some mid
-      else if t.members.(mid) < port then go (mid + 1) hi
-      else go lo mid
-    end
-  in
-  go 0 (Array.length t.members)
-
-let port_of_rank t rank =
-  if rank < 0 || rank >= Array.length t.members then
-    invalid_arg "View.port_of_rank: rank out of range";
-  t.members.(rank)
-
-let contains_port t port = rank_of_port t port <> None
-
-let equal a b = a.version = b.version && a.members = b.members
+(* The view type moved to [lib/membership] so the decentralized
+   membership core can own it without a dependency cycle; this alias
+   keeps every overlay-side reference (and the type equalities across
+   libraries) intact. *)
+include Apor_membership.View

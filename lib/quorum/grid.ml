@@ -142,6 +142,41 @@ let connecting t i j =
 
 let failover_candidates t ~dst = rendezvous_servers t dst
 
+(* Which survivors of a membership change keep their rendezvous geometry?
+   [map.(r)] is the old rank of the node now at rank [r] (None = joiner).
+   A survivor's per-view rendezvous state (cached cost vectors, routes
+   learned from its servers) stays meaningful only when its server set is
+   the same set of *nodes* in both grids: every new server maps to an old
+   rank, and those old ranks are exactly the old server set.  Joiners and
+   survivors whose row/column composition shifted get None — their state
+   must be rebuilt from scratch. *)
+let remap ~prev ~next ~map =
+  if Array.length map <> next.n then
+    invalid_arg "Grid.remap: map length differs from next grid size";
+  Array.mapi
+    (fun r old ->
+      match old with
+      | None -> None
+      | Some old_r ->
+          if old_r < 0 || old_r >= prev.n then
+            invalid_arg "Grid.remap: mapped rank out of range for prev grid";
+          let mapped_servers =
+            List.fold_left
+              (fun acc s ->
+                match acc with
+                | None -> None
+                | Some set -> (
+                    match map.(s) with
+                    | Some old_s -> Some (Nodeid.Set.add old_s set)
+                    | None -> None (* a joiner entered the quorum *)))
+              (Some Nodeid.Set.empty)
+              next.servers.(r)
+          in
+          (match mapped_servers with
+          | Some set when Nodeid.Set.equal set prev.server_sets.(old_r) -> Some old_r
+          | Some _ | None -> None))
+    map
+
 let max_rendezvous_degree t =
   Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.servers
 

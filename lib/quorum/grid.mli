@@ -81,6 +81,19 @@ val failover_candidates : t -> dst:Nodeid.t -> Nodeid.t list
     draws failover rendezvous servers from (Section 4.1).  Equals
     [rendezvous_servers t dst]. *)
 
+val remap :
+  prev:t -> next:t -> map:Nodeid.t option array -> Nodeid.t option array
+(** Survivor filter for a view change, used to decide whose per-view
+    routing state (cached cost vectors, learned routes) may be carried
+    across.  [map.(r)] names the {e prev}-grid rank of the node now at
+    {e next}-grid rank [r] ([None] for joiners — see
+    [Apor_membership.View.rank_map]).  The result keeps [map.(r)] exactly
+    when the node survived {e and} its rendezvous-server set denotes the
+    same set of nodes in both grids (every new server is a survivor, and
+    their old ranks equal the old server set); otherwise [None].
+    @raise Invalid_argument when the map's length is not [size next] or a
+    mapped rank is out of range for [prev]. *)
+
 val max_rendezvous_degree : t -> int
 (** Largest [|R_i|] over all nodes — the load-balance bound of Theorem 1. *)
 

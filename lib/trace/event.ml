@@ -14,6 +14,10 @@ module Kind = struct
     | Failover_started
     | Failover_stopped
     | View_installed
+    | View_adopted
+    | View_reset
+    | Join_requested
+    | Join_admitted
     | Dgram_sent
     | Dgram_forwarded
     | Dgram_delivered
@@ -31,6 +35,10 @@ module Kind = struct
       Failover_started;
       Failover_stopped;
       View_installed;
+      View_adopted;
+      View_reset;
+      Join_requested;
+      Join_admitted;
     ]
 
   let dataplane = [ Dgram_sent; Dgram_forwarded; Dgram_delivered; Dgram_dropped ]
@@ -48,6 +56,10 @@ module Kind = struct
     | Failover_started -> "failover-started"
     | Failover_stopped -> "failover-stopped"
     | View_installed -> "view-installed"
+    | View_adopted -> "view-adopted"
+    | View_reset -> "view-reset"
+    | Join_requested -> "join-requested"
+    | Join_admitted -> "join-admitted"
     | Dgram_sent -> "dgram-sent"
     | Dgram_forwarded -> "dgram-forwarded"
     | Dgram_delivered -> "dgram-delivered"
@@ -80,6 +92,10 @@ type t =
   | Failover_started of { node : Nodeid.t; dst : Nodeid.t; server : Nodeid.t; view : int }
   | Failover_stopped of { node : Nodeid.t; dst : Nodeid.t; view : int; reason : stop_reason }
   | View_installed of { node : Nodeid.t; view : int; size : int }
+  | View_adopted of { node : int; epoch : int; size : int }
+  | View_reset of { node : int }
+  | Join_requested of { node : int; contact : int }
+  | Join_admitted of { sponsor : int; port : int; epoch : int }
   | Dgram_sent of { id : int; origin : int; dst : int; hop : int option }
   | Dgram_forwarded of { id : int; node : int; dst : int }
   | Dgram_delivered of { id : int; node : int; hops : int }
@@ -97,6 +113,10 @@ let kind : t -> Kind.t = function
   | Failover_started _ -> Kind.Failover_started
   | Failover_stopped _ -> Kind.Failover_stopped
   | View_installed _ -> Kind.View_installed
+  | View_adopted _ -> Kind.View_adopted
+  | View_reset _ -> Kind.View_reset
+  | Join_requested _ -> Kind.Join_requested
+  | Join_admitted _ -> Kind.Join_admitted
   | Dgram_sent _ -> Kind.Dgram_sent
   | Dgram_forwarded _ -> Kind.Dgram_forwarded
   | Dgram_delivered _ -> Kind.Dgram_delivered
@@ -114,6 +134,10 @@ let involves ev id =
   | Failover_started { node; dst; server; _ } -> node = id || dst = id || server = id
   | Failover_stopped { node; dst; _ } -> node = id || dst = id
   | View_installed { node; _ } -> node = id
+  | View_adopted { node; _ } -> node = id
+  | View_reset { node } -> node = id
+  | Join_requested { node; contact } -> node = id || contact = id
+  | Join_admitted { sponsor; port; _ } -> sponsor = id || port = id
   | Dgram_sent { origin; dst; hop; _ } ->
       origin = id || dst = id || hop = Some id
   | Dgram_forwarded { node; dst; _ } -> node = id || dst = id
@@ -155,6 +179,15 @@ let pp ppf = function
         (reason_to_string reason)
   | View_installed { node; view; size } ->
       Format.fprintf ppf "view-installed(v%d, rank %d of %d)" view node size
+  | View_adopted { node; epoch; size } ->
+      Format.fprintf ppf "view-adopted(e%d.%d, port %d, %d members)" (epoch lsr 16)
+        (epoch land 0xFFFF) node size
+  | View_reset { node } -> Format.fprintf ppf "view-reset(port %d)" node
+  | Join_requested { node; contact } ->
+      Format.fprintf ppf "join-requested(port %d at %d)" node contact
+  | Join_admitted { sponsor; port; epoch } ->
+      Format.fprintf ppf "join-admitted(port %d by %d, e%d.%d)" port sponsor
+        (epoch lsr 16) (epoch land 0xFFFF)
   | Dgram_sent { id; origin; dst; hop } ->
       Format.fprintf ppf "dgram-sent(#%d, %d->%d%s)" id origin dst
         (match hop with None -> "" | Some h -> Printf.sprintf " via %d" h)
@@ -204,6 +237,15 @@ let to_json ev =
         node dst view (reason_to_string reason)
   | View_installed { node; view; size } ->
       Printf.sprintf "%s,\"node\":%d,\"view\":%d,\"size\":%d" (json_kind ev) node view size
+  | View_adopted { node; epoch; size } ->
+      Printf.sprintf "%s,\"node\":%d,\"epoch\":%d,\"size\":%d" (json_kind ev) node epoch
+        size
+  | View_reset { node } -> Printf.sprintf "%s,\"node\":%d" (json_kind ev) node
+  | Join_requested { node; contact } ->
+      Printf.sprintf "%s,\"node\":%d,\"contact\":%d" (json_kind ev) node contact
+  | Join_admitted { sponsor; port; epoch } ->
+      Printf.sprintf "%s,\"sponsor\":%d,\"port\":%d,\"epoch\":%d" (json_kind ev) sponsor
+        port epoch
   | Dgram_sent { id; origin; dst; hop } ->
       Printf.sprintf "%s,\"id\":%d,\"origin\":%d,\"dst\":%d,\"hop\":%s" (json_kind ev) id
         origin dst

@@ -29,6 +29,10 @@ module Kind : sig
     | Failover_started
     | Failover_stopped
     | View_installed
+    | View_adopted
+    | View_reset
+    | Join_requested
+    | Join_admitted
     | Dgram_sent
     | Dgram_forwarded
     | Dgram_delivered
@@ -100,6 +104,22 @@ type t =
   | View_installed of { node : Nodeid.t; view : int; size : int }
       (** [node]'s router rebuilt its state for a view of [size] members;
           [node] is its rank therein. *)
+  | View_adopted of { node : int; epoch : int; size : int }
+      (** Decentralized membership: [node] (a {e port} — stable across
+          view changes, unlike ranks) installed the view stamped [epoch].
+          The oracle's view-agreement invariant consumes these: epochs
+          must be strictly monotonic per port, and live ports must
+          converge to the maximum epoch within a grace window. *)
+  | View_reset of { node : int }
+      (** [node] (port) lost its membership state — a real-runtime
+          restart — and will re-adopt from the genesis of its new
+          incarnation.  Resets the oracle's monotonicity tracker. *)
+  | Join_requested of { node : int; contact : int }
+      (** Member [contact] received [node]'s join request and queued it
+          for the next view change. *)
+  | Join_admitted of { sponsor : int; port : int; epoch : int }
+      (** [sponsor]'s quorum write committed: [port] is a member as of
+          [epoch] and has been sent its join ack. *)
   | Dgram_sent of { id : int; origin : int; dst : int; hop : int option }
       (** The data plane originated user datagram [id] at [origin] for
           [dst]; [hop] is the recommended intermediate it was routed

@@ -8,6 +8,7 @@ type check =
   | One_hop_optimality
   | Traffic_conservation
   | Datagram_conservation
+  | View_agreement
 
 type violation = { time : float; check : check; detail : string }
 
@@ -39,6 +40,8 @@ type t = {
   episodes : (Nodeid.t * Nodeid.t, Nodeid.t) Hashtbl.t; (* (node, dst) -> server *)
   targets : (Nodeid.t * Nodeid.t, target) Hashtbl.t; (* (node, server) *)
   bytes : (int, int ref) Hashtbl.t; (* node -> traced bytes in + out *)
+  adopted : (int, int) Hashtbl.t; (* port -> last adopted epoch *)
+  first_adopt : (int, float) Hashtbl.t; (* epoch -> first adoption time *)
   dgrams : (int, dgram) Hashtbl.t; (* datagram id -> lifecycle *)
   mutable dgrams_sent : int;
   mutable dgrams_delivered : int;
@@ -59,6 +62,8 @@ let create ?(raise_on_violation = true) ?(slack_s = 5.) ~metric ~staleness_s () 
     episodes = Hashtbl.create 16;
     targets = Hashtbl.create 16;
     bytes = Hashtbl.create 64;
+    adopted = Hashtbl.create 64;
+    first_adopt = Hashtbl.create 16;
     dgrams = Hashtbl.create 1024;
     dgrams_sent = 0;
     dgrams_delivered = 0;
@@ -72,6 +77,7 @@ let check_name = function
   | One_hop_optimality -> "one-hop-optimality"
   | Traffic_conservation -> "traffic-conservation"
   | Datagram_conservation -> "datagram-conservation"
+  | View_agreement -> "view-agreement"
 
 let pp_violation ppf v =
   Format.fprintf ppf "t=%.3f [%s] %s" v.time (check_name v.check) v.detail
@@ -229,6 +235,17 @@ let observe t (tv : Collector.timed) =
   | Event.Ls_gap _ -> () (* nothing was stored; the mirror stays put *)
   | Event.View_installed { view; size; _ } ->
       if not (Hashtbl.mem t.grids view) then Hashtbl.add t.grids view (Grid.build size)
+  | Event.View_adopted { node; epoch; _ } ->
+      (match Hashtbl.find_opt t.adopted node with
+      | Some prev when epoch <= prev ->
+          flag t ~time:now ~check:View_agreement
+            (Printf.sprintf "port %d adopted epoch %d after already holding %d" node
+               epoch prev)
+      | Some _ | None -> ());
+      Hashtbl.replace t.adopted node epoch;
+      if not (Hashtbl.mem t.first_adopt epoch) then Hashtbl.add t.first_adopt epoch now
+  | Event.View_reset { node } -> Hashtbl.remove t.adopted node
+  | Event.Join_requested _ | Event.Join_admitted _ -> ()
   | Event.Ls_ingest { node; owner; view; snapshot } ->
       ingest t ~now ~node ~owner ~view snapshot
   | Event.Rec_computed { server; client; view; entries } ->
@@ -277,6 +294,40 @@ let observe t (tv : Collector.timed) =
           (Printf.sprintf "node %d dropped datagram %d that was never sent" node id)
 
 let attach t collector = Collector.subscribe collector (observe t)
+
+(* --- invariant 4: view agreement ---------------------------------------- *)
+
+let adopted_epoch t ~port = Hashtbl.find_opt t.adopted port
+
+let check_view_agreement t ~now ~grace_s ~live =
+  let target =
+    List.fold_left
+      (fun acc port ->
+        match Hashtbl.find_opt t.adopted port with
+        | Some e when e > acc -> e
+        | _ -> acc)
+      (-1) live
+  in
+  if target >= 0 then
+    let since =
+      match Hashtbl.find_opt t.first_adopt target with Some tm -> tm | None -> now
+    in
+    if now -. since > grace_s then
+      List.iter
+        (fun port ->
+          match Hashtbl.find_opt t.adopted port with
+          | Some e when e = target -> ()
+          | Some e ->
+              flag t ~time:now ~check:View_agreement
+                (Printf.sprintf
+                   "port %d still at epoch %d while epoch %d has been out for %.1fs" port
+                   e target (now -. since))
+          | None ->
+              flag t ~time:now ~check:View_agreement
+                (Printf.sprintf
+                   "port %d holds no view while epoch %d has been out for %.1fs" port
+                   target (now -. since)))
+        live
 
 (* --- invariant 3: traffic conservation ---------------------------------- *)
 

@@ -49,6 +49,13 @@ type check =
           addressed destination, and the data plane's own send/deliver
           counters agree with the trace (checked per event plus on demand
           via {!check_datagrams}). *)
+  | View_agreement
+      (** Invariant 4, decentralized membership: per-port epoch sequences
+          from [View_adopted] events are strictly monotonic (checked
+          online; [View_reset] clears a port's tracker after a real
+          restart), and every live port converges to the maximum adopted
+          epoch within a grace window (checked on demand via
+          {!check_view_agreement}). *)
 
 type violation = { time : float; check : check; detail : string }
 
@@ -112,6 +119,17 @@ val check_datagrams : t -> sent:int -> delivered:int -> now:float -> unit
     [delivered] must equal the number of [Dgram_sent] / [Dgram_delivered]
     events the oracle accepted.  Records/raises a [Datagram_conservation]
     violation per disagreement. *)
+
+val adopted_epoch : t -> port:int -> int option
+(** The last epoch the oracle saw [port] adopt, if any. *)
+
+val check_view_agreement : t -> now:float -> grace_s:float -> live:int list -> unit
+(** Convergence half of [View_agreement]: among [live] ports, find the
+    maximum adopted epoch; if it first appeared more than [grace_s] ago,
+    every live port must hold exactly it.  Records/raises one violation
+    per lagging (or view-less) port.  A no-op when no live port has
+    adopted any view — static-membership runs emit no [View_adopted]
+    events at all. *)
 
 val check_grid_cover : Grid.t -> (unit, string) result
 (** The static form of invariant 1, used by the property tests: every

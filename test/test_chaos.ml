@@ -75,6 +75,90 @@ let test_validate_rejects () =
   check_bool "no room to recover" true (bad [ Scenario.at 95. flap ]);
   check_bool "ok inside envelope" true (not (bad [ Scenario.at 20. flap ]))
 
+let test_membership_scenarios () =
+  let mk ?(members = 3) events =
+    Scenario.make ~name:"t" ~n:5 ~members ~seed:1 ~warmup_s:10. ~horizon_s:100.
+      ~grace_s:5. ~require_recovery:false events
+  in
+  let bad ?members events = Result.is_error (Scenario.validate (mk ?members events)) in
+  check_bool "kill of a live member ok" false
+    (bad [ Scenario.at 20. (Scenario.Node_kill { node = 1 }) ]);
+  check_bool "kill of a pending joiner rejected" true
+    (bad [ Scenario.at 20. (Scenario.Node_kill { node = 4 }) ]);
+  check_bool "double kill rejected" true
+    (bad
+       [
+         Scenario.at 20. (Scenario.Node_kill { node = 1 });
+         Scenario.at 30. (Scenario.Node_kill { node = 1 });
+       ]);
+  check_bool "join of a pending node ok" false
+    (bad [ Scenario.at 20. (Scenario.Node_join { node = 3 }) ]);
+  check_bool "join of a genesis member rejected" true
+    (bad [ Scenario.at 20. (Scenario.Node_join { node = 0 }) ]);
+  check_bool "double join rejected" true
+    (bad
+       [
+         Scenario.at 20. (Scenario.Node_join { node = 3 });
+         Scenario.at 30. (Scenario.Node_join { node = 3 });
+       ]);
+  check_bool "join after kill frees the slot" false
+    (bad
+       [
+         Scenario.at 20. (Scenario.Node_join { node = 3 });
+         Scenario.at 30. (Scenario.Node_kill { node = 3 });
+         Scenario.at 40. (Scenario.Node_join { node = 4 });
+       ]);
+  check_bool "members below 2 rejected" true (bad ~members:1 []);
+  check_bool "coordinator-outage + membership rejected" true
+    (bad
+       [
+         Scenario.at 20. (Scenario.Node_join { node = 3 });
+         Scenario.at 30. (Scenario.Coordinator_outage { duration_s = 10. });
+       ]);
+  let scn =
+    mk
+      [
+        Scenario.at 20. (Scenario.Node_join { node = 3 });
+        Scenario.at 50. (Scenario.Node_kill { node = 0 });
+      ]
+  in
+  check_bool "uses_membership" true (Scenario.uses_membership scn);
+  check_bool "static scenario does not" false
+    (Scenario.uses_membership
+       (Scenario.make ~name:"t" ~n:5 ~seed:1 ~warmup_s:10. ~horizon_s:100. ~grace_s:5.
+          ~require_recovery:false [ Scenario.at 20. flap ]));
+  check_bool "live at start" true (Scenario.live_at scn 0. = [ 0; 1; 2 ]);
+  check_bool "live after join" true (Scenario.live_at scn 20. = [ 0; 1; 2; 3 ]);
+  check_bool "live after kill" true (Scenario.live_at scn 60. = [ 1; 2; 3 ]);
+  check_bool "joins listed in order" true (Scenario.joins scn = [ (20., 3) ]);
+  (* kill/join are instantaneous: scale moves their times, not durations *)
+  let s = Scenario.scale scn 0.1 in
+  check_float "kill time scaled" 5. (List.nth s.Scenario.events 1).Scenario.at;
+  check_float "kill stays instantaneous" 0.
+    (Scenario.duration_of (List.nth s.Scenario.events 1).Scenario.fault)
+
+let test_membership_loader () =
+  let text =
+    {|
+(name m) (n 6) (members 4) (seed 3)
+(warmup 10) (horizon 100) (grace 5) (require-recovery false)
+(at 20 (node-kill 1))
+(at 30 (node-join 4))
+|}
+  in
+  match Scenario.of_string text with
+  | Error e -> Alcotest.failf "loader: %s" e
+  | Ok scn ->
+      check_int "members header" 4 scn.Scenario.members;
+      check_bool "kill parsed" true
+        (List.exists
+           (fun ev -> ev.Scenario.fault = Scenario.Node_kill { node = 1 })
+           scn.Scenario.events);
+      check_bool "join parsed" true
+        (List.exists
+           (fun ev -> ev.Scenario.fault = Scenario.Node_join { node = 4 })
+           scn.Scenario.events)
+
 let test_scale () =
   let scn =
     Scenario.make ~name:"t" ~n:4 ~seed:1 ~warmup_s:60. ~horizon_s:600. ~grace_s:30.
@@ -177,7 +261,24 @@ let test_timeline () =
            (List.map
               (fun (t, a) -> Format.asprintf "%.0f %a" t Injector.pp_action a)
               tl)));
-  check_bool "windows" true (Injector.windows scn = [ (10., 40.); (20., 30.) ])
+  check_bool "windows" true (Injector.windows scn = [ (10., 40.); (20., 30.) ]);
+  (* kill and join compile to a single action: no clearing counterpart *)
+  let mscn =
+    Scenario.make ~name:"t" ~n:5 ~members:4 ~seed:1 ~warmup_s:0. ~horizon_s:100.
+      ~grace_s:5. ~require_recovery:false
+      [
+        Scenario.at 10. (Scenario.Node_kill { node = 1 });
+        Scenario.at 20. (Scenario.Node_join { node = 4 });
+      ]
+  in
+  match Injector.timeline mscn with
+  | [ (10., Injector.Kill 1); (20., Injector.Join 4) ] -> ()
+  | tl ->
+      Alcotest.failf "unexpected membership timeline: %s"
+        (String.concat "; "
+           (List.map
+              (fun (t, a) -> Format.asprintf "%.0f %a" t Injector.pp_action a)
+              tl))
 
 (* --- Sim end to end ------------------------------------------------------------ *)
 
@@ -217,6 +318,38 @@ let test_run_sim_rejects_invalid () =
     (Result.is_error
        (Runner.run_sim
           (Scenario.make ~name:"bad" ~n:4 ~seed:1 ~horizon_s:50. [ Scenario.at 200. flap ])))
+
+(* --- Membership chaos (tentpole: kill forever + live joins) -------------------- *)
+
+let membership_scn =
+  Scenario.make ~name:"unit-membership" ~n:9 ~members:8 ~seed:11 ~warmup_s:25.
+    ~horizon_s:220. ~grace_s:45. ~require_recovery:false
+    [
+      Scenario.at 30. (Scenario.Node_kill { node = 2 });
+      Scenario.at 80. (Scenario.Node_join { node = 8 });
+    ]
+
+let test_run_sim_membership () =
+  let outcome = run_sim_exn membership_scn in
+  let score = outcome.Runner.score in
+  check_bool "passed" true outcome.Runner.passed;
+  check_int "no out-of-grace violations" 0 score.Score.violations_out_of_grace;
+  check_int "the join was requested" 1 score.Score.joins_requested;
+  check_int "the join was admitted" 1 score.Score.joins_admitted;
+  (* live at the horizon: 8 genesis - 1 killed + 1 joined = 8 members *)
+  check_int "pairs scoped to live members" (8 * 7) score.Score.pairs_total
+
+(* The refused-join gate (regression: a udp run whose joins never land
+   must exit non-zero): joins_admitted < joins_requested fails the score
+   even with a silent oracle and full recovery. *)
+let test_refused_join_fails () =
+  let score = (run_sim_exn membership_scn).Runner.score in
+  check_bool "sane baseline" true (Score.passed score ~require_recovery:false);
+  let refused = { score with Score.joins_admitted = 0 } in
+  check_bool "refused join fails without recovery required" false
+    (Score.passed refused ~require_recovery:false);
+  check_bool "refused join fails with recovery required" false
+    (Score.passed refused ~require_recovery:true)
 
 (* --- UDP runtime fault hooks (satellite: per-peer drop accounting) ------------- *)
 
@@ -285,6 +418,13 @@ let test_udp_kill_restart () =
       let covered, total = Udp.coverage udp in
       check_int "restarted node rejoined and re-covered all pairs" total covered)
 
+let test_udp_join_rejected_under_static () =
+  let module Udp = Apor_deploy.Udp_runtime in
+  with_udp ~n:3 ~base_port:9480 (fun udp ->
+      Alcotest.check_raises "join_node under static membership"
+        (Invalid_argument "Udp_runtime.join_node: membership is static") (fun () ->
+          Udp.join_node udp 2))
+
 let () =
   Alcotest.run "apor_chaos"
     [
@@ -298,6 +438,8 @@ let () =
           Alcotest.test_case "combinators" `Quick test_combinators;
           Alcotest.test_case "make sorts" `Quick test_make_sorts_events;
           Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "membership kill/join" `Quick test_membership_scenarios;
+          Alcotest.test_case "membership loader" `Quick test_membership_loader;
           Alcotest.test_case "scale" `Quick test_scale;
           Alcotest.test_case "loader" `Quick test_loader;
           Alcotest.test_case "loader wildcards deterministic" `Quick
@@ -311,6 +453,8 @@ let () =
           Alcotest.test_case "smoke" `Quick test_run_sim_smoke;
           Alcotest.test_case "deterministic score JSON" `Quick test_run_sim_deterministic;
           Alcotest.test_case "rejects invalid scenario" `Quick test_run_sim_rejects_invalid;
+          Alcotest.test_case "membership kill-forever + join" `Quick test_run_sim_membership;
+          Alcotest.test_case "refused join fails the score" `Quick test_refused_join_fails;
         ] );
       ( "udp faults",
         [
@@ -319,5 +463,7 @@ let () =
           Alcotest.test_case "corruption counted undecodable" `Quick
             test_udp_corrupt_counted_undecodable;
           Alcotest.test_case "kill/restart" `Quick test_udp_kill_restart;
+          Alcotest.test_case "join refused under static membership" `Quick
+            test_udp_join_rejected_under_static;
         ] );
     ]

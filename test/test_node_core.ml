@@ -230,7 +230,7 @@ let rec copy_message (m : Message.t) =
       Message.Relay { origin; target; inner = copy_message inner }
   | Message.Probe _ | Message.Probe_reply _ | Message.Link_state_delta _
   | Message.Ls_resync _ | Message.Recommend _ | Message.Join _ | Message.Leave _
-  | Message.View _ | Message.Data _ | Message.Dgram _ ->
+  | Message.View _ | Message.Data _ | Message.Dgram _ | Message.Member _ ->
       m
 
 let copy_input (i : Node_core.input) =
